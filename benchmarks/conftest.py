@@ -1,0 +1,23 @@
+"""Benchmark-suite plumbing: dump reproduced tables at session end."""
+
+import os
+import shutil
+
+from repro.eval import report
+
+
+def pytest_sessionstart(session):
+    results_dir = os.path.abspath(report.RESULTS_DIR)
+    if os.path.isdir(results_dir):
+        shutil.rmtree(results_dir)
+    report.clear()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    text = report.render_all()
+    if not text:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for line in text.split("\n"):
+        terminalreporter.write_line(line)

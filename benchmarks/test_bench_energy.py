@@ -1,0 +1,59 @@
+"""D3 — CPU overhead and energy per request.
+
+Section 1: bypassing the CPU "reduces CPU overhead ... and further reduces
+energy."  The harness attributes active-component energy per request and
+counts host CPU cycles burned per request for each system model.
+"""
+
+import pytest
+
+from repro.eval import format_table, run_kv_workload
+from repro.eval.report import record
+
+KINDS = ["bare", "apiary", "hosted_bypass", "hosted"]
+
+
+def run_energy():
+    results = {}
+    rows = []
+    for kind in KINDS:
+        r = run_kv_workload(kind, n_requests=200, value_bytes=1024,
+                            warmup_keys=16, seed=41)
+        results[kind] = r
+        bd = r["energy_breakdown"]
+        rows.append([
+            kind,
+            r["cpu_cycles_per_request"],
+            r["energy_uj_per_request"],
+            bd["cpu_nj"] / 1000.0,
+            bd["fpga_nj"] / 1000.0,
+            bd["pcie_nj"] / 1000.0,
+            bd["noc_nj"] / 1000.0,
+        ])
+    return rows, results
+
+
+def test_bench_energy(benchmark):
+    rows, results = benchmark.pedantic(run_energy, rounds=1, iterations=1)
+
+    # CPU overhead: zero for direct attach, substantial for hosted
+    assert results["apiary"]["cpu_cycles_per_request"] == 0
+    assert results["bare"]["cpu_cycles_per_request"] == 0
+    assert results["hosted"]["cpu_cycles_per_request"] > 1000
+    assert (results["hosted_bypass"]["cpu_cycles_per_request"]
+            < results["hosted"]["cpu_cycles_per_request"])
+
+    # energy: hosted pays for the CPU; direct attach does not
+    assert (results["hosted"]["energy_uj_per_request"]
+            > 5 * results["apiary"]["energy_uj_per_request"])
+    hosted_bd = results["hosted"]["energy_breakdown"]
+    assert hosted_bd["cpu_nj"] > hosted_bd["fpga_nj"]
+    # Apiary's OS machinery (NoC+monitors) is a tiny energy adder over bare
+    assert (results["apiary"]["energy_uj_per_request"]
+            < 1.35 * results["bare"]["energy_uj_per_request"])
+
+    record("D3", "CPU overhead and energy per KV request "
+                 "(uJ per request; component columns in uJ totals)",
+           format_table(
+               ["system", "cpu cyc/req", "uJ/req", "cpu uJ", "fpga uJ",
+                "pcie uJ", "noc uJ"], rows))

@@ -1,0 +1,74 @@
+"""D4 — "What is the overhead of the per-tile monitor?" (Section 6, Q1).
+
+Two axes the open question names:
+
+* resource overhead as tile count grows — monitors+routers as a fraction
+  of each Table-1 part, which also determines "the granularity of logic
+  within the tiles";
+* how the monitor's cost scales with its capability-table size.
+"""
+
+import pytest
+
+from repro.eval import format_table
+from repro.eval.report import record
+from repro.hw import monitor_cost, noc_overhead, part
+
+PARTS = ["XC7V585T", "VU3P", "VU29P", "XCVC1902"]
+TILE_COUNTS = [4, 9, 16, 36, 64]
+CAP_SIZES = [16, 64, 256, 1024]
+
+
+def run_overhead():
+    fraction_rows = []
+    for part_name in PARTS:
+        p = part(part_name)
+        row = [f"{part_name}{' (hard NoC)' if p.hardened_noc else ''}"]
+        for tiles in TILE_COUNTS:
+            o = noc_overhead(p, tiles=tiles)
+            row.append(f"{o['overhead_fraction']:.1%}")
+        fraction_rows.append(row)
+
+    slot_rows = []
+    for tiles in TILE_COUNTS:
+        o = noc_overhead(part("VU29P"), tiles=tiles)
+        slot_rows.append([tiles, int(o["cells_per_tile_slot"]),
+                          int(o["total_overhead_cells"])])
+
+    cap_rows = []
+    for caps in CAP_SIZES:
+        cost = monitor_cost(cap_table_size=caps)
+        cap_rows.append([caps, cost.logic_cells, cost.bram_kb])
+    return fraction_rows, slot_rows, cap_rows
+
+
+def test_bench_monitor_overhead(benchmark):
+    fraction_rows, slot_rows, cap_rows = benchmark.pedantic(
+        run_overhead, rounds=1, iterations=1
+    )
+
+    # scalability: on the big modern part, even 64 tiles of OS cost < 15%
+    vu29p_64 = noc_overhead(part("VU29P"), tiles=64)["overhead_fraction"]
+    assert vu29p_64 < 0.15
+    # the same 64 tiles on the small 2010 part would eat most of the device
+    # — the reason multi-accelerator OSes arrive *now* (Table 1's point)
+    v7_64 = noc_overhead(part("XC7V585T"), tiles=64)["overhead_fraction"]
+    assert v7_64 > 4 * vu29p_64
+    # hardened NoCs cut the overhead further (the paper's Versal argument)
+    versal_64 = noc_overhead(part("XCVC1902"), tiles=64)["overhead_fraction"]
+    assert versal_64 < noc_overhead(part("VU9P"), tiles=64)["overhead_fraction"]
+    # monitor cost grows linearly-ish in capability table size
+    assert cap_rows[-1][1] > cap_rows[0][1]
+    assert cap_rows[-1][1] < 10 * cap_rows[0][1]  # ...but not explosively
+
+    text = format_table(["part"] + [f"{t} tiles" for t in TILE_COUNTS],
+                        fraction_rows,
+                        title="Apiary framework share of device logic:")
+    text += "\n\n" + format_table(
+        ["tiles", "user cells per slot", "total OS cells"], slot_rows,
+        title="Tile granularity on VU29P:")
+    text += "\n\n" + format_table(
+        ["cap table entries", "monitor logic cells", "monitor BRAM KB"],
+        cap_rows, title="Monitor cost vs capability-table size:")
+    record("D4", "Per-tile monitor overhead (Section 6 open question 1)",
+           text)

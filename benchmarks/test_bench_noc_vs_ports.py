@@ -1,0 +1,58 @@
+"""A1 — ablation: NoC message-layer naming vs. per-service physical ports.
+
+Section 4.3's design choice: previous work couples physical interfaces to
+the number of services; Apiary makes the destination a message field over
+one NoC port.  Sweep the service count and compare wires, ports, and logic.
+"""
+
+import pytest
+
+from repro.baselines import noc_wiring, port_coupled_wiring
+from repro.eval import format_table
+from repro.eval.report import record
+
+ACCELS = 16
+SERVICE_COUNTS = [1, 2, 4, 8, 12]
+
+
+def run_models():
+    rows = []
+    series = {}
+    for services in SERVICE_COUNTS:
+        port_style = port_coupled_wiring(ACCELS, services)
+        noc_soft = noc_wiring(ACCELS, services, hardened=False)
+        noc_hard = noc_wiring(ACCELS, services, hardened=True)
+        series[services] = (port_style, noc_soft, noc_hard)
+        rows.append([
+            services,
+            port_style["ports"], port_style["wires"],
+            port_style["logic_cells"],
+            noc_soft["ports"], noc_soft["wires"], noc_soft["logic_cells"],
+            noc_hard["logic_cells"],
+        ])
+    return rows, series
+
+
+def test_bench_noc_vs_ports(benchmark):
+    rows, series = benchmark.pedantic(run_models, rounds=1, iterations=1)
+
+    # port coupling scales multiplicatively with services; NoC does not
+    p1, n1, _h1 = series[1]
+    p12, n12, _h12 = series[12]
+    assert p12["wires"] == 12 * p1["wires"]
+    # NoC wires grow with tile count (services occupy tiles), far slower
+    # than the accels*services product
+    assert n12["wires"] < 2 * n1["wires"]
+    assert n12["wires"] < p12["wires"] / 3
+    # crossover: at >= 4 services the NoC wins on wires
+    p4, n4, _h4 = series[4]
+    assert n4["wires"] < p4["wires"]
+    # hardened NoC makes the logic cost negligible (the Versal argument)
+    assert series[12][2]["logic_cells"] < series[12][1]["logic_cells"] / 2
+
+    record("A1", f"NoC vs per-service ports: wiring cost for {ACCELS} "
+                 "accelerators as service count grows",
+           format_table(
+               ["services", "port ports", "port wires", "port cells",
+                "noc ports", "noc wires", "noc cells", "hard-noc cells"],
+               rows))

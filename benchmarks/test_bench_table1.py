@@ -1,0 +1,43 @@
+"""T1 — Table 1: logic-cell counts for Virtex-7 vs Virtex UltraScale+.
+
+Reproduces the paper's only table verbatim from the device database and
+checks the generational scaling claims derived from it ("increased by about
+50%" for the smallest parts, "scaled up by 3x" for the largest).
+"""
+
+from repro.eval import format_table
+from repro.eval.report import record
+from repro.hw import table1_rows, table1_scaling
+
+
+def build_table1():
+    rows = table1_rows()
+    ratios = table1_scaling()
+    return rows, ratios
+
+
+def test_bench_table1(benchmark):
+    rows, ratios = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+
+    assert [(r[2], r[3]) for r in rows] == [
+        ("XC7V585T", 582_720),
+        ("XC7VH870T", 876_160),
+        ("VU3P", 862_000),
+        ("VU29P", 3_780_000),
+    ]
+    # "Comparing the smallest parts, the number of logic cells has
+    # increased by about 50%"
+    assert 1.4 <= ratios["smallest_ratio"] <= 1.6
+    # "the largest parts have scaled up by 3x between generations"
+    assert ratios["largest_ratio"] >= 3.0
+
+    text = format_table(
+        ["Family", "Year Released", "Part Number", "Logic Cells"],
+        [[r[0], str(r[1]), r[2], r[3]] for r in rows],
+    )
+    text += (
+        f"\nsmallest-part scaling: {ratios['smallest_ratio']:.2f}x"
+        f"   largest-part scaling: {ratios['largest_ratio']:.2f}x"
+    )
+    record("T1", "Table 1: logic cells, previous vs current Virtex family",
+           text)

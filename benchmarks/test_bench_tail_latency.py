@@ -1,0 +1,43 @@
+"""D2 — latency variability: the tail cost of CPU mediation.
+
+Section 1 claims direct attachment improves latency *variability*, not just
+the median: host scheduling noise (context switches, run-queue delays)
+shows up at p99/p999.  Same workload as D1, more samples, tail columns.
+"""
+
+import pytest
+
+from repro.eval import format_table, run_kv_workload
+from repro.eval.report import record
+
+KINDS = ["bare", "apiary", "hosted_bypass", "hosted"]
+
+
+def run_tails():
+    results = {}
+    rows = []
+    for kind in KINDS:
+        r = run_kv_workload(kind, n_requests=500, value_bytes=256,
+                            warmup_keys=32, seed=29)
+        lat = r["latency"]
+        results[kind] = r
+        rows.append([kind, lat["p50"], lat["p99"], lat["p999"],
+                     lat["p999"] / lat["p50"]])
+    return rows, results
+
+
+def test_bench_tail_latency(benchmark):
+    rows, results = benchmark.pedantic(run_tails, rounds=1, iterations=1)
+
+    apiary = results["apiary"]["latency"]
+    hosted = results["hosted"]["latency"]
+    # the tails: hosted p99 spreads far beyond its own median...
+    assert hosted["p99"] > 1.25 * hosted["p50"]
+    # ...while Apiary's distribution is tight (no scheduler underneath)
+    assert apiary["p999"] < 1.2 * apiary["p50"]
+    # and the p999 gap between systems exceeds the median gap
+    assert hosted["p999"] / apiary["p999"] >= hosted["p50"] / apiary["p50"] * 0.9
+    assert hosted["p999"] > 2 * apiary["p999"]
+
+    record("D2", "Tail latency: KV GET distribution per system (cycles)",
+           format_table(["system", "p50", "p99", "p999", "p999/p50"], rows))

@@ -1,0 +1,62 @@
+"""Echo and sink accelerators — measurement probes for tests/benchmarks.
+
+``EchoAccel`` answers every request after a fixed compute cost; it is the
+standard peer for latency measurements (the A2 interposition bench).
+``SinkAccel`` consumes events and counts them; it is the flood victim in
+the rate-limiting experiment (D5).
+"""
+
+from __future__ import annotations
+
+from repro.accel.base import Accelerator
+from repro.hw.resources import ResourceVector
+
+__all__ = ["EchoAccel", "SinkAccel"]
+
+
+class EchoAccel(Accelerator):
+    """Replies to any request with the same payload after ``cost`` cycles."""
+
+    COST = ResourceVector(logic_cells=8_000, bram_kb=32, dsp_slices=0)
+    PRIMITIVES = {"lut_logic": 6_000, "fifo": 2}
+
+    def __init__(self, name: str, cost: int = 10):
+        super().__init__(name)
+        self.cost = cost
+        self.served = 0
+
+    def main(self, shell):
+        while True:
+            msg = yield shell.recv()
+            yield from self._work(self.cost)
+            self.served += 1
+            yield shell.reply(msg, payload=msg.payload,
+                              payload_bytes=msg.payload_bytes)
+
+
+class SinkAccel(Accelerator):
+    """Consumes incoming messages at a bounded service rate.
+
+    ``service_cycles`` models the per-item work; when flooded faster than
+    it can serve, its inbox backlog grows and (with bounded NoC queues)
+    backpressure propagates — exactly the resource-exhaustion vector
+    Section 4.5's rate limiting defends against.
+    """
+
+    COST = ResourceVector(logic_cells=6_000, bram_kb=16, dsp_slices=0)
+    PRIMITIVES = {"lut_logic": 5_000, "fifo": 1}
+
+    def __init__(self, name: str, service_cycles: int = 20):
+        super().__init__(name)
+        self.service_cycles = service_cycles
+        self.consumed = 0
+        self.consumed_by_src = {}
+
+    def main(self, shell):
+        while True:
+            msg = yield shell.recv()
+            yield from self._work(self.service_cycles)
+            self.consumed += 1
+            self.consumed_by_src[msg.src] = self.consumed_by_src.get(msg.src, 0) + 1
+            if msg.kind.value == "request":
+                yield shell.reply(msg, payload="ok")

@@ -1,0 +1,90 @@
+"""Hash-join accelerator — the data-processing-pipeline representative.
+
+Section 1 names "data processing pipeline[s]" as the other target besides
+microservices.  A build/probe hash join is the canonical FPGA-accelerated
+relational operator: the build side stages a hash table in a DRAM segment,
+the probe side streams rows against it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.accel.base import Accelerator
+from repro.hw.resources import ResourceVector
+
+__all__ = ["HashJoinAccel", "JOIN_CYCLES_PER_ROW"]
+
+JOIN_CYCLES_PER_ROW = 4
+ROW_BYTES = 32
+
+
+class HashJoinAccel(Accelerator):
+    """Build/probe hash join over OS-managed memory.
+
+    Ops:
+    * ``join.build {rows}`` — hash ``rows`` build-side rows into a DRAM
+      segment (allocated on first build, sized to the row count).
+    * ``join.probe {rows, selectivity}`` — stream probe rows; replies with
+      the match count; cost per row plus DRAM reads for bucket fetches.
+    * ``join.reset {}`` — drop the build table.
+    """
+
+    COST = ResourceVector(logic_cells=70_000, bram_kb=1024, dsp_slices=32)
+    PRIMITIVES = {"lut_logic": 56_000, "bram": 256, "dsp": 32}
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._seg = None
+        self.build_rows = 0
+        self.probe_rows = 0
+        self.matches = 0
+
+    def main(self, shell):
+        while True:
+            msg = yield shell.recv()
+            body = msg.payload if isinstance(msg.payload, dict) else {}
+            if msg.op == "join.build":
+                yield from self._build(shell, msg, body)
+            elif msg.op == "join.probe":
+                yield from self._probe(shell, msg, body)
+            elif msg.op == "join.reset":
+                self.build_rows = 0
+                yield shell.reply(msg, payload="reset")
+            else:
+                yield shell.reply(msg, payload=f"unknown op {msg.op!r}",
+                                  error=True)
+
+    def _build(self, shell, msg, body):
+        rows = int(body.get("rows", 0))
+        if rows < 1:
+            yield shell.reply(msg, payload="build needs rows >= 1", error=True)
+            return
+        table_bytes = rows * ROW_BYTES * 2  # 50% fill factor
+        if self._seg is None or self._seg.size < table_bytes:
+            if self._seg is not None:
+                yield shell.free(self._seg)
+            self._seg = yield shell.alloc(table_bytes,
+                                          label=f"{self.name}.hash")
+        yield from self._work(rows * JOIN_CYCLES_PER_ROW)
+        # write the table out in row-sized strides (DRAM time via svc.mem)
+        chunk = 4096
+        for offset in range(0, min(table_bytes, 8 * chunk), chunk):
+            yield shell.mem_write(self._seg, offset, b"", chunk)
+        self.build_rows = rows
+        yield shell.reply(msg, payload={"built": rows}, payload_bytes=8)
+
+    def _probe(self, shell, msg, body):
+        if self.build_rows == 0:
+            yield shell.reply(msg, payload="probe before build", error=True)
+            return
+        rows = int(body.get("rows", 0))
+        selectivity = float(body.get("selectivity", 0.1))
+        yield from self._work(rows * JOIN_CYCLES_PER_ROW)
+        # bucket fetches: one 64B read per ~16 probe rows (cache-batched)
+        for _ in range(min(8, max(1, rows // 16))):
+            yield shell.mem_read(self._seg, 0, 64)
+        found = int(rows * selectivity)
+        self.probe_rows += rows
+        self.matches += found
+        yield shell.reply(msg, payload={"matches": found}, payload_bytes=8)

@@ -1,0 +1,55 @@
+"""The KV-store application (Section 2's second tenant), deployable on
+Apiary, on the hosted baseline and on the bare baseline via one handler.
+
+The handler charges the same compute costs as
+:class:`repro.accel.kvstore.KvStore` (hash + per-64B value movement), so
+system comparisons isolate the *datapath* difference — exactly what D1/D2
+need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.accel.kvstore import KV_CYCLES_PER_64B, KV_HASH_CYCLES
+from repro.apps.service import PortedService
+
+__all__ = ["make_kv_handler", "deploy_kv_on_apiary", "KV_PORT"]
+
+KV_PORT = 6379
+
+
+def make_kv_handler() -> Tuple[Any, Dict]:
+    """A KV request handler plus its (inspectable) backing table.
+
+    Body format: ``{"op": "get"|"put", "key": k, "bytes": n}``.
+    Returns ``(handler, table)``.
+    """
+    table: Dict[Any, int] = {}
+
+    def handler(body: Any):
+        op = body.get("op")
+        key = body.get("key")
+        if op == "put":
+            nbytes = int(body.get("bytes", 64))
+            table[key] = nbytes
+            cycles = KV_HASH_CYCLES + KV_CYCLES_PER_64B * (nbytes // 64 + 1)
+            return cycles, {"stored": True}, 16
+        if op == "get":
+            nbytes = table.get(key)
+            if nbytes is None:
+                return KV_HASH_CYCLES, {"found": False}, 16
+            cycles = KV_HASH_CYCLES + KV_CYCLES_PER_64B * (nbytes // 64 + 1)
+            return cycles, {"found": True, "bytes": nbytes}, nbytes
+        return 1, {"error": f"bad op {op!r}"}, 16
+
+    return handler, table
+
+
+def deploy_kv_on_apiary(system, node: int, port: int = KV_PORT,
+                        name: str = "kv"):
+    """Load a KV PortedService onto ``node``; returns (service, started)."""
+    handler, _table = make_kv_handler()
+    service = PortedService(name, port=port, handler=handler)
+    started = system.start_app(node, service, endpoint=f"app.{name}")
+    return service, started

@@ -1,0 +1,79 @@
+"""Generic microservice call chains.
+
+Section 2: "An accelerated service could have its own state that it needs
+to maintain between invocations, it may be part of a complex call chain."
+:class:`ChainStage` is a configurable stage that does local work and then
+calls the next stage; chains of them measure how per-hop OS overheads
+compound along realistic call graphs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.accel.base import Accelerator
+from repro.hw.resources import ResourceVector
+
+__all__ = ["ChainStage", "deploy_chain"]
+
+
+class ChainStage(Accelerator):
+    """Does ``work_cycles`` of compute, then calls ``next_endpoint``.
+
+    The last stage (``next_endpoint=None``) just replies.  Per-invocation
+    state: a running request counter folded into the response, so chains
+    are genuinely stateful services, not pure functions.
+    """
+
+    COST = ResourceVector(logic_cells=20_000, bram_kb=64, dsp_slices=4)
+    PRIMITIVES = {"lut_logic": 16_000, "bram": 16}
+
+    def __init__(self, name: str, work_cycles: int = 100,
+                 next_endpoint: Optional[str] = None,
+                 payload_bytes: int = 128):
+        super().__init__(name)
+        self.work_cycles = work_cycles
+        self.next_endpoint = next_endpoint
+        self.payload_bytes = payload_bytes
+        self.invocations = 0
+
+    def main(self, shell):
+        while True:
+            msg = yield shell.recv()
+            shell.spawn(f"req{msg.mid}", self._serve(shell, msg))
+
+    def _serve(self, shell, msg):
+        yield from self._work(self.work_cycles)
+        self.invocations += 1
+        hops = (msg.payload or {}).get("hops", 0) if isinstance(msg.payload, dict) else 0
+        if self.next_endpoint is not None:
+            resp = yield shell.call(self.next_endpoint, msg.op,
+                                    payload={"hops": hops + 1},
+                                    payload_bytes=self.payload_bytes)
+            result = resp.payload
+        else:
+            result = {"hops": hops + 1, "served_by": self.name,
+                      "count": self.invocations}
+        yield shell.reply(msg, payload=result, payload_bytes=self.payload_bytes)
+
+
+def deploy_chain(system, nodes: List[int], work_cycles: int = 100,
+                 payload_bytes: int = 128, name_prefix: str = "chain"):
+    """Deploy a linear call chain across ``nodes``.
+
+    Returns ``(stages, started_events, head_endpoint)``.
+    """
+    endpoints = [f"app.{name_prefix}.{i}" for i in range(len(nodes))]
+    stages = []
+    for i, node in enumerate(nodes):
+        next_ep = endpoints[i + 1] if i + 1 < len(nodes) else None
+        stages.append(ChainStage(f"{name_prefix}.{i}", work_cycles=work_cycles,
+                                 next_endpoint=next_ep,
+                                 payload_bytes=payload_bytes))
+    started = [
+        system.start_app(node, stage, endpoint=endpoints[i])
+        for i, (node, stage) in enumerate(zip(nodes, stages))
+    ]
+    for i in range(len(nodes) - 1):
+        system.mgmt.grant_send(f"tile{nodes[i]}", endpoints[i + 1])
+    return stages, started, endpoints[0]

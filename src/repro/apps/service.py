@@ -1,0 +1,57 @@
+"""PortedService: expose any handler as a network-facing Apiary service.
+
+Bridges the datacenter RPC convention (``("req", rid, body)`` over a bound
+port) onto an accelerator handler, so the *same handler function* can be
+deployed on Apiary, on the hosted baseline and on the bare baseline — the
+property that makes D1-D3 apples-to-apples.
+
+Handler convention (shared with :mod:`repro.baselines`):
+``handler(body) -> (compute_cycles, response_body, response_bytes)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.accel.base import Accelerator
+from repro.errors import TileFault
+from repro.hw.resources import ResourceVector
+
+__all__ = ["PortedService"]
+
+Handler = Callable[[Any], Tuple[int, Any, int]]
+
+
+class PortedService(Accelerator):
+    """Serves datacenter RPCs arriving through ``svc.net`` on one port."""
+
+    COST = ResourceVector(logic_cells=60_000, bram_kb=512, dsp_slices=8)
+    PRIMITIVES = {"lut_logic": 48_000, "bram": 128}
+
+    def __init__(self, name: str, port: int, handler: Handler,
+                 concurrency: int = 4):
+        super().__init__(name)
+        self.port = port
+        self.handler = handler
+        self.concurrency = concurrency
+        self.requests_served = 0
+
+    def main(self, shell):
+        yield shell.net_bind(self.port)
+        while True:
+            msg = yield shell.recv()
+            if msg.op != "net.rx":
+                continue
+            body = msg.payload
+            data = body.get("data")
+            if not (isinstance(data, tuple) and data[0] == "req"):
+                continue
+            shell.spawn(f"req{data[1]}", self._serve(shell, body, data))
+
+    def _serve(self, shell, envelope, data):
+        _tag, rid, body = data
+        cycles, out_body, out_bytes = self.handler(body)
+        yield from self._work(cycles)
+        self.requests_served += 1
+        yield shell.net_send(envelope["src_mac"], self.port,
+                             data=("resp", rid, out_body), nbytes=out_bytes)

@@ -1,0 +1,16 @@
+"""Comparison baselines: bare FPGA, Coyote-like hosted, AmorphOS morphlets,
+and the analytic port-coupling wiring models."""
+
+from repro.baselines.amorphos import Morphlet, MorphletScheduler
+from repro.baselines.bare import BareFpgaSystem
+from repro.baselines.hosted import HostedFpgaSystem
+from repro.baselines.wiring import noc_wiring, port_coupled_wiring
+
+__all__ = [
+    "BareFpgaSystem",
+    "HostedFpgaSystem",
+    "MorphletScheduler",
+    "Morphlet",
+    "port_coupled_wiring",
+    "noc_wiring",
+]

@@ -1,0 +1,11 @@
+"""Capability system (Section 4.6, after Dennis & Van Horn [15]).
+
+Accelerators hold opaque :class:`CapabilityRef` handles; the OS-side
+:class:`CapabilityStore` is partitioned by holder and supports minting,
+attenuating derivation, and recursive revocation.
+"""
+
+from repro.cap.capability import Capability, CapabilityRef, Rights
+from repro.cap.captable import CapabilityStore
+
+__all__ = ["Rights", "Capability", "CapabilityRef", "CapabilityStore"]

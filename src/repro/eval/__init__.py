@@ -1,0 +1,14 @@
+"""Evaluation harness: energy model, table formatting, workload drivers."""
+
+from repro.eval.energy import EnergyBreakdown, EnergyModel
+from repro.eval.harness import SYSTEM_KINDS, run_kv_workload
+from repro.eval.tables import format_table, format_value
+
+__all__ = [
+    "EnergyModel",
+    "EnergyBreakdown",
+    "format_table",
+    "format_value",
+    "run_kv_workload",
+    "SYSTEM_KINDS",
+]

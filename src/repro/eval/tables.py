@@ -1,0 +1,52 @@
+"""Plain-text table formatting for experiment output.
+
+Every bench prints its rows through :func:`format_table`, so EXPERIMENTS.md
+and ``bench_output.txt`` read uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly scalar formatting (3 significant-ish digits)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:,.0f}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        if magnitude >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    # cells must stay single-line or the whole table misaligns
+    return " ".join(str(value).split()) or str(value).strip() or ""
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Aligned monospace table with a header rule."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.rjust(widths[i])
+                                for i, cell in enumerate(row)))
+    return "\n".join(lines)

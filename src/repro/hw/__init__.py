@@ -1,0 +1,50 @@
+"""FPGA hardware model: parts, boards, resources, regions, bitstreams, clocks.
+
+This package is the substitution for physical FPGAs (DESIGN.md Section 2):
+the parts database reproduces Table 1, resource accounting answers the
+monitor-overhead open question (D4), reconfigurable regions model the
+dynamic tile slots of Figure 1, and the design-rule checker models the
+bitstream screening that Section 3.1 delegates to build tools.
+"""
+
+from repro.hw.bitstream import (
+    FORBIDDEN_PRIMITIVES,
+    Bitstream,
+    DesignRuleChecker,
+    DrcViolation,
+)
+from repro.hw.clock import FABRIC_CLOCK, ClockDomain
+from repro.hw.device import BOARDS, PARTS, Board, FpgaPart, board, part, table1_rows
+from repro.hw.device import table1_scaling
+from repro.hw.region import RECONFIG_CYCLES_PER_CELL, ReconfigRegion
+from repro.hw.resources import (
+    ResourceBudget,
+    ResourceVector,
+    monitor_cost,
+    noc_overhead,
+    router_cost,
+)
+
+__all__ = [
+    "FpgaPart",
+    "Board",
+    "PARTS",
+    "BOARDS",
+    "part",
+    "board",
+    "table1_rows",
+    "table1_scaling",
+    "ResourceVector",
+    "ResourceBudget",
+    "router_cost",
+    "monitor_cost",
+    "noc_overhead",
+    "Bitstream",
+    "DesignRuleChecker",
+    "DrcViolation",
+    "FORBIDDEN_PRIMITIVES",
+    "ReconfigRegion",
+    "RECONFIG_CYCLES_PER_CELL",
+    "ClockDomain",
+    "FABRIC_CLOCK",
+]

@@ -1,0 +1,62 @@
+"""Clock-domain bookkeeping: converting between cycles, time and rates.
+
+The simulator's unit is one fabric cycle.  Components that live in other
+clock domains (Ethernet MACs at line rate, DRAM at memory-bus rate, a host
+CPU at GHz) convert through a :class:`ClockDomain`, so cross-domain numbers
+(ns of latency, GB/s of bandwidth, nJ of energy) stay consistent in the
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["ClockDomain", "FABRIC_CLOCK"]
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A named clock with frequency in MHz."""
+
+    name: str
+    mhz: float
+
+    def __post_init__(self) -> None:
+        if self.mhz <= 0:
+            raise ConfigError(f"clock {self.name!r} needs positive MHz")
+
+    @property
+    def ns_per_cycle(self) -> float:
+        return 1e3 / self.mhz
+
+    def cycles_to_ns(self, cycles: int) -> float:
+        return cycles * self.ns_per_cycle
+
+    def ns_to_cycles(self, ns: float) -> int:
+        """Round up: hardware can't finish mid-cycle."""
+        if ns < 0:
+            raise ConfigError(f"negative duration {ns}ns")
+        cycles = ns / self.ns_per_cycle
+        whole = int(cycles)
+        return whole if cycles == whole else whole + 1
+
+    def bytes_per_cycle(self, gbps: float) -> float:
+        """Payload bytes moved per fabric cycle at a given line rate."""
+        if gbps <= 0:
+            raise ConfigError(f"line rate must be positive, got {gbps}")
+        bytes_per_ns = gbps / 8.0
+        return bytes_per_ns * self.ns_per_cycle
+
+    def cycles_for_bytes(self, nbytes: int, gbps: float) -> int:
+        """Cycles to serialize ``nbytes`` at ``gbps`` (rounded up, >= 1)."""
+        per_cycle = self.bytes_per_cycle(gbps)
+        cycles = nbytes / per_cycle
+        whole = int(cycles)
+        return max(1, whole if cycles == whole else whole + 1)
+
+
+#: The default fabric clock: 250 MHz, a common shell frequency on
+#: UltraScale+ data-center cards.
+FABRIC_CLOCK = ClockDomain("fabric", 250.0)

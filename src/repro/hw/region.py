@@ -1,0 +1,125 @@
+"""Partial-reconfiguration regions.
+
+Each Apiary tile's accelerator slot is a dynamically reconfigurable region
+(Section 4.1: "these untrusted tile slots are dynamically instantiated
+regions, while Apiary's framework resides in the static area").  A
+:class:`ReconfigRegion` models the slot: it holds at most one bitstream,
+loading takes time proportional to bitstream size (ICAP/PCAP bandwidth is
+the bottleneck on real parts), and loads go through the design-rule checker.
+
+The paper explicitly *omits* scheduling of what gets configured into slots
+(deferring to AmorphOS/Coyote); we match that scope: regions expose
+load/unload mechanics and the management plane calls them, but no placement
+policy lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReconfigError
+from repro.hw.bitstream import Bitstream, DesignRuleChecker
+from repro.hw.resources import ResourceVector
+from repro.sim import Engine, Event
+
+__all__ = ["ReconfigRegion", "RECONFIG_CYCLES_PER_CELL"]
+
+#: Reconfiguration cost in fabric cycles per logic cell.  ICAP moves
+#: ~400 MB/s = ~1.6 B per 250 MHz cycle = ~13 config bits/cycle; at ~100
+#: bits of configuration per logic cell that is ~8 cycles per cell —
+#: loading a 120k-cell accelerator takes ~1M cycles (~4 ms), matching
+#: published partial-reconfiguration times.
+RECONFIG_CYCLES_PER_CELL = 8
+
+
+class ReconfigRegion:
+    """One reconfigurable slot with a capacity and an optional DRC screen."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: ResourceVector,
+        drc: Optional[DesignRuleChecker] = None,
+        name: str = "slot",
+    ):
+        self.engine = engine
+        self.capacity = capacity
+        self.drc = drc
+        self.name = name
+        self.loaded: Optional[Bitstream] = None
+        self._busy = False
+        self.loads_completed = 0
+        self.loads_rejected = 0
+
+    @property
+    def occupied(self) -> bool:
+        return self.loaded is not None
+
+    @property
+    def reconfiguring(self) -> bool:
+        return self._busy
+
+    def load_duration(self, bitstream: Bitstream) -> int:
+        """Cycles to stream the partial bitstream through the config port."""
+        return max(1, bitstream.cost.logic_cells * RECONFIG_CYCLES_PER_CELL)
+
+    def load(self, bitstream: Bitstream) -> Event:
+        """Begin loading; the event succeeds when the region is live.
+
+        Rejections (DRC, capacity, busy) fail the event with
+        :class:`ReconfigError` rather than raising synchronously, because the
+        management plane treats them as runtime outcomes, not caller bugs.
+        """
+        done = self.engine.event(f"{self.name}.load")
+        if self._busy:
+            done.fail(ReconfigError(f"{self.name} is mid-reconfiguration"))
+            return done
+        if self.loaded is not None:
+            done.fail(ReconfigError(
+                f"{self.name} already holds {self.loaded.name!r}; unload first"
+            ))
+            return done
+        if not bitstream.cost.fits_in(self.capacity):
+            self.loads_rejected += 1
+            done.fail(ReconfigError(
+                f"{bitstream.name!r} needs {bitstream.cost}, slot capacity is "
+                f"{self.capacity}"
+            ))
+            return done
+        if self.drc is not None:
+            try:
+                self.drc.check(bitstream)
+            except Exception as err:  # BitstreamRejected
+                self.loads_rejected += 1
+                done.fail(err)
+                return done
+        self._busy = True
+
+        def finish(_arg) -> None:
+            self._busy = False
+            self.loaded = bitstream
+            self.loads_completed += 1
+            done.succeed(bitstream)
+
+        self.engine.schedule(self.load_duration(bitstream), finish)
+        return done
+
+    def unload(self) -> Event:
+        """Clear the region (fast: just blanks the slot's frames)."""
+        done = self.engine.event(f"{self.name}.unload")
+        if self._busy:
+            done.fail(ReconfigError(f"{self.name} is mid-reconfiguration"))
+            return done
+        if self.loaded is None:
+            done.fail(ReconfigError(f"{self.name} is already empty"))
+            return done
+        previous = self.loaded
+        self._busy = True
+
+        def finish(_arg) -> None:
+            self._busy = False
+            self.loaded = None
+            done.succeed(previous)
+
+        self.engine.schedule(max(1, self.load_duration(previous) // 10), finish)
+        return done

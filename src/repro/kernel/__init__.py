@@ -1,0 +1,58 @@
+"""The Apiary kernel — the paper's primary contribution, executable.
+
+A NoC-based hardware microkernel: typed messages, per-tile monitors
+enforcing capabilities and rate limits, the standard shell API, OS services
+in tile slots, fail-stop/preemptible fault handling, and the management
+plane.  :class:`ApiarySystem` assembles all of it on one simulated FPGA.
+"""
+
+from repro.kernel.fault import FaultManager, FaultPolicy, FaultRecord
+from repro.kernel.message import (
+    MESSAGE_HEADER_BYTES,
+    MemAccess,
+    Message,
+    MessageKind,
+)
+from repro.kernel.mgmt import MgmtPlane
+from repro.kernel.monitor import (
+    MONITOR_EGRESS_CYCLES,
+    MONITOR_INGRESS_CYCLES,
+    Monitor,
+)
+from repro.kernel.services import (
+    HundredGigAdapter,
+    MacAdapter,
+    MemoryService,
+    NetworkService,
+    TenGigAdapter,
+)
+from repro.kernel.remote import RemoteCpuServiceHost, RemoteServiceProxy
+from repro.kernel.shell import AllocatedSegment, Shell
+from repro.kernel.system import ApiarySystem, build_figure1
+from repro.kernel.tile import Tile
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "MemAccess",
+    "MESSAGE_HEADER_BYTES",
+    "Monitor",
+    "MONITOR_EGRESS_CYCLES",
+    "MONITOR_INGRESS_CYCLES",
+    "Shell",
+    "AllocatedSegment",
+    "Tile",
+    "FaultManager",
+    "FaultPolicy",
+    "FaultRecord",
+    "MgmtPlane",
+    "MemoryService",
+    "NetworkService",
+    "MacAdapter",
+    "TenGigAdapter",
+    "HundredGigAdapter",
+    "RemoteServiceProxy",
+    "RemoteCpuServiceHost",
+    "ApiarySystem",
+    "build_figure1",
+]

@@ -1,0 +1,100 @@
+"""Fault detection and handling policy (Section 4.4).
+
+The paper defines two achievable models:
+
+* **Fail-stop** — "if an accelerator ... encounters an error in a process
+  and cannot complete its computation, it should not be able to affect
+  other Apiary services or other unrelated accelerators."  The monitor
+  drains the tile and NACKs peers.
+* **Preemptible** — "if an error occurs in one user context within an
+  accelerator, other independent processes on the accelerator can keep
+  running."  Requires the accelerator to externalize context state; only a
+  single context dies.
+
+:class:`FaultManager` is the policy point: tiles report process failures to
+it, and it applies the model the tile's accelerator supports.  D6 measures
+the blast radius difference between the two (plus the no-OS baseline where
+a fault silently corrupts the pipeline).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import TileFault
+from repro.sim import Engine, StatsRegistry, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.tile import Tile
+
+__all__ = ["FaultPolicy", "FaultRecord", "FaultManager"]
+
+
+class FaultPolicy(enum.Enum):
+    #: drain the whole tile on any fault (always available)
+    FAIL_STOP = "fail-stop"
+    #: kill only the faulting context when the accelerator is preemptible,
+    #: fall back to fail-stop otherwise
+    PREEMPT = "preempt"
+
+
+@dataclass
+class FaultRecord:
+    time: int
+    tile: str
+    context: str
+    error: str
+    action: str  # "drained" | "context-killed"
+
+
+class FaultManager:
+    """Receives fault reports from tiles and applies the configured policy."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        policy: FaultPolicy = FaultPolicy.FAIL_STOP,
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.engine = engine
+        self.policy = policy
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.records: List[FaultRecord] = []
+
+    def report(self, tile: "Tile", context: str, error: BaseException) -> None:
+        """A process on ``tile`` died with ``error``; contain it."""
+        accel = tile.accelerator
+        preemptable_context = (
+            self.policy == FaultPolicy.PREEMPT
+            and accel is not None
+            and accel.preemptible
+            and context != "main"
+        )
+        if preemptable_context:
+            action = "context-killed"
+            self.stats.counter("fault.contexts_killed").inc()
+            # the faulting context is already dead; save what the
+            # accelerator externalized so the context could be resumed
+            # elsewhere, and leave every other context running.
+            tile.saved_contexts[context] = accel.externalize_state()
+        else:
+            action = "drained"
+            self.stats.counter("fault.tiles_drained").inc()
+            tile.fail_stop()
+        record = FaultRecord(
+            time=self.engine.now,
+            tile=tile.endpoint,
+            context=context,
+            error=f"{type(error).__name__}: {error}",
+            action=action,
+        )
+        self.records.append(record)
+        self.tracer.emit(self.engine.now, "fault.contained", tile.endpoint,
+                         context=context, action=action)
+
+    def faults_on(self, tile_endpoint: str) -> List[FaultRecord]:
+        return [r for r in self.records if r.tile == tile_endpoint]

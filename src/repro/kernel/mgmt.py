@@ -1,0 +1,225 @@
+"""The management plane: naming, capability policy, tile lifecycle.
+
+The management plane is part of Apiary's trusted static framework (like the
+monitors): it owns the logical-name table every monitor resolves against,
+mints root capabilities, screens and loads bitstreams into tile slots, and
+executes the operator-level policies (which apps may talk to which).
+
+Per Section 4.1 we deliberately do *not* implement a placement/scheduling
+policy for which accelerator goes into which slot — the paper defers that
+to AmorphOS/Coyote.  Callers name the target tile explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cap.capability import CapabilityRef, Rights
+from repro.cap.captable import CapabilityStore
+from repro.errors import ConfigError, ServiceUnavailable
+from repro.kernel.tile import Tile
+from repro.sim import Engine, Event, StatsRegistry, Tracer
+
+__all__ = ["MgmtPlane"]
+
+
+class MgmtPlane:
+    """Trusted management logic for one Apiary system."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        caps: CapabilityStore,
+        name_table: Dict[str, int],
+        tiles: List[Tile],
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.engine = engine
+        self.caps = caps
+        self.name_table = name_table
+        self.tiles = tiles
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        #: endpoints considered OS services: new tiles are auto-wired to them
+        self.service_endpoints: List[str] = []
+
+    # -- naming (the per-tile tables of Section 4.3) ---------------------------
+
+    def register_endpoint(self, name: str, node: int) -> None:
+        if name in self.name_table and self.name_table[name] != node:
+            raise ConfigError(
+                f"endpoint {name!r} already maps to tile {self.name_table[name]}"
+            )
+        if not 0 <= node < len(self.tiles):
+            raise ConfigError(f"no tile {node}")
+        self.name_table[name] = node
+        self.tracer.emit(self.engine.now, "mgmt.register", "mgmt",
+                         name=name, node=node)
+
+    def unregister_endpoint(self, name: str) -> None:
+        self.name_table.pop(name, None)
+
+    def resolve(self, name: str) -> int:
+        node = self.name_table.get(name)
+        if node is None:
+            raise ServiceUnavailable(f"no endpoint named {name!r}")
+        return node
+
+    # -- capability policy ---------------------------------------------------------
+
+    def grant_send(self, holder: str, endpoint: str) -> CapabilityRef:
+        """Authorize ``holder`` to message ``endpoint`` (operator policy).
+
+        This is how "distrusting applications ... specifically establish
+        interprocess communication" (Section 4.2): nothing talks to anything
+        without an explicit grant.
+        """
+        ref = self.caps.mint(holder, Rights.SEND, endpoint=endpoint)
+        self.tracer.emit(self.engine.now, "mgmt.grant_send", "mgmt",
+                         holder=holder, endpoint=endpoint)
+        return ref
+
+    def connect(self, a: str, b: str) -> None:
+        """Bidirectional SEND authorization between two endpoints."""
+        self.grant_send(a, b)
+        self.grant_send(b, a)
+
+    def revoke_endpoint_caps(self, holder: str) -> int:
+        return self.caps.revoke_holder(holder)
+
+    # -- tile lifecycle ----------------------------------------------------------------
+
+    def load(
+        self,
+        node: int,
+        accelerator,
+        endpoint: Optional[str] = None,
+        signed_by: Optional[str] = None,
+        wire_services: bool = True,
+    ) -> Event:
+        """Load an accelerator into tile ``node`` and wire default caps.
+
+        Registers ``endpoint`` (defaults to the tile's own name) in the name
+        table, grants the tile SEND to every OS service, and grants each OS
+        service SEND back (for notifications like ``net.rx``).
+        """
+        tile = self.tiles[node]
+        if endpoint is not None:
+            self.register_endpoint(endpoint, node)
+        if wire_services:
+            for svc in self.service_endpoints:
+                self.grant_send(tile.endpoint, svc)
+                svc_tile = self.tiles[self.name_table[svc]]
+                self.grant_send(svc_tile.endpoint, tile.endpoint)
+        started = tile.start(accelerator, signed_by=signed_by)
+        self.stats.counter("mgmt.loads").inc()
+        return started
+
+    def load_service(self, node: int, service, endpoint: str) -> Event:
+        """Load an OS service and record it for default wiring."""
+        started = self.load(node, service, endpoint=endpoint,
+                            wire_services=False)
+        if endpoint not in self.service_endpoints:
+            self.service_endpoints.append(endpoint)
+        return started
+
+    # -- observability ----------------------------------------------------------
+
+    def telemetry(self) -> List[Dict[str, float]]:
+        """Per-tile traffic/health snapshots from every monitor.
+
+        This is the operator's view of the message-passing layer — the
+        observability the Programmability design goal asks for, available
+        precisely because everything crosses a monitor.
+        """
+        return [tile.monitor.telemetry() for tile in self.tiles]
+
+    def police_rates(self, tx_threshold: float,
+                     limit_flits_per_cycle: float,
+                     burst: int = 32) -> List[str]:
+        """Closed-loop policing: throttle tiles exceeding a tx-rate budget.
+
+        Returns the endpoints that were throttled.  Tiles hosting OS
+        services are exempt (they forward other tenants' traffic).
+        """
+        throttled = []
+        service_nodes = {self.name_table[s] for s in self.service_endpoints}
+        for node, tile in enumerate(self.tiles):
+            if node in service_nodes:
+                continue
+            snap = tile.monitor.telemetry()
+            if snap["tx_flits_per_cycle"] > tx_threshold and not snap["rate_limited"]:
+                self.set_rate_limit(node, limit_flits_per_cycle, burst=burst)
+                throttled.append(tile.endpoint)
+        return throttled
+
+    def set_rate_limit(self, node: int, flits_per_cycle: Optional[float],
+                       burst: int = 32) -> None:
+        """Throttle (or unthrottle) one tile's NoC injection rate."""
+        self.tiles[node].monitor.set_rate_limit(flits_per_cycle, burst=burst)
+        self.tracer.emit(self.engine.now, "mgmt.rate_limit", "mgmt",
+                         node=node, rate=flits_per_cycle)
+
+    def fail_stop(self, node: int) -> None:
+        """Operator-initiated kill of a tile."""
+        self.tiles[node].fail_stop()
+        self.stats.counter("mgmt.fail_stops").inc()
+
+    def teardown(self, node: int, revoke: bool = True) -> Event:
+        """Stop a tile, revoke its authority, and free the slot."""
+        tile = self.tiles[node]
+        if revoke:
+            self.revoke_endpoint_caps(tile.endpoint)
+        # remove any extra endpoint names pointing at this tile
+        for name in [n for n, t in self.name_table.items()
+                     if t == node and n != tile.endpoint]:
+            self.unregister_endpoint(name)
+        return tile.stop_and_unload()
+
+    def restart(self, node: int, accelerator, endpoint: Optional[str] = None):
+        """Process generator: tear down and reload a tile (recovery path)."""
+        yield self.teardown(node)
+        yield self.load(node, accelerator, endpoint=endpoint)
+
+    def migrate(self, node_from: int, node_to: int, make_accelerator,
+                endpoint: Optional[str] = None):
+        """Process generator: move a preemptible accelerator to another tile.
+
+        Section 4.4's preemption payoff, end to end: the source accelerator
+        is preempted (its main process interrupted), its externalized
+        architectural state captured, the source tile torn down, and a
+        fresh instance (from ``make_accelerator``) restored from that state
+        on the destination tile.  ``endpoint`` names re-register at the new
+        tile, so peers keep calling the same logical name.
+
+        Limitations (documented, matching the capability model): memory
+        capabilities are *per-holder*, so the old tile's segments are
+        revoked at teardown — state that must survive migration belongs in
+        ``externalize_state``, exactly as the paper's context definition
+        implies.  Returns the new accelerator instance.
+        """
+        source = self.tiles[node_from]
+        if source.accelerator is None:
+            raise ConfigError(f"tile {node_from} runs nothing to migrate")
+        if not source.accelerator.preemptible:
+            raise ConfigError(
+                f"{source.accelerator.name!r} is not preemptible; only "
+                "accelerators that externalize state can migrate (§4.4)"
+            )
+        if endpoint is None:
+            extra = [n for n, t in self.name_table.items()
+                     if t == node_from and n != source.endpoint]
+            endpoint = extra[0] if extra else None
+        state = source.accelerator.externalize_state()
+        # include any contexts the fault manager parked on the tile
+        for saved in source.saved_contexts.values():
+            state.update(saved)
+        yield self.teardown(node_from)
+        replacement = make_accelerator()
+        replacement.restore_state(state)
+        yield self.load(node_to, replacement, endpoint=endpoint)
+        self.stats.counter("mgmt.migrations").inc()
+        self.tracer.emit(self.engine.now, "mgmt.migrate", "mgmt",
+                         src=node_from, dst=node_to, endpoint=endpoint)
+        return replacement

@@ -1,0 +1,292 @@
+"""The per-tile Apiary monitor — the trusted core of the microkernel.
+
+Section 4.1: "The Apiary monitor serves [as] an accelerator's interface to
+the OS, so all messages go through it."  Everything the paper asks of the
+monitor lives here:
+
+* **Name resolution** (§4.3): a local table mapping logical endpoint names
+  to physical tiles, maintained by the management plane.
+* **Capability enforcement** (§4.5/4.6): every egress message needs a SEND
+  capability for its destination; memory operations additionally pass the
+  segment-protection unit.
+* **Rate limiting** (§4.5): a token bucket on the injection path.
+* **Fail-stop drain** (§4.4): "draining all outgoing or incoming messages
+  and returning an error to any accelerator that tries to communicate with
+  it."
+* **Cost accounting** (§6 Q1): every interposition charges cycles, and the
+  monitor reports its logic-cell footprint for the overhead experiments.
+
+The monitor can also run with ``enforce=False`` (all checks skipped, zero
+added cycles) — the A2 ablation's "no OS" configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cap.capability import CapabilityRef, Rights
+from repro.cap.captable import CapabilityStore
+from repro.errors import (
+    AccessDenied,
+    CapabilityError,
+    ProtocolError,
+    SegmentFault,
+    ServiceUnavailable,
+    TileFault,
+)
+from repro.hw.resources import ResourceVector, monitor_cost
+from repro.kernel.message import MemAccess, Message, MessageKind
+from repro.mem.protection import SegmentProtectionUnit
+from repro.mem.segment import SegmentTable
+from repro.noc.flit import flits_for_bytes
+from repro.noc.network import NetworkInterface
+from repro.noc.qos import RateMeter, TokenBucket
+from repro.sim import Channel, Engine, Event, StatsRegistry, Tracer
+
+__all__ = ["Monitor", "MONITOR_EGRESS_CYCLES", "MONITOR_INGRESS_CYCLES"]
+
+#: Cycles one egress interposition costs (cap lookup + name table + policy).
+MONITOR_EGRESS_CYCLES = 2
+#: Cycles one ingress interposition costs.
+MONITOR_INGRESS_CYCLES = 1
+
+
+class Monitor:
+    """One tile's monitor, sitting between the accelerator and the NoC."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        tile_name: str,
+        ni: NetworkInterface,
+        caps: CapabilityStore,
+        segments: SegmentTable,
+        name_table: Dict[str, int],
+        enforce: bool = True,
+        rate_limit_flits_per_cycle: Optional[float] = None,
+        rate_limit_burst: int = 32,
+        cap_table_size: int = 64,
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.engine = engine
+        self.tile_name = tile_name
+        self.ni = ni
+        self.caps = caps
+        self.name_table = name_table  # shared dict, owned by the mgmt plane
+        self.enforce = enforce
+        self.spu = SegmentProtectionUnit(caps, segments, holder=tile_name)
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.drained = False
+        self.cap_table_size = cap_table_size
+        self.bucket: Optional[TokenBucket] = None
+        if rate_limit_flits_per_cycle is not None:
+            self.bucket = TokenBucket(
+                rate_per_cycle=rate_limit_flits_per_cycle,
+                burst=rate_limit_burst,
+                start_time=engine.now,
+            )
+        self._egress_queue: Channel = Channel(
+            engine, capacity=None, name=f"{tile_name}.egress"
+        )
+        #: delivery callback into the shell; set by the Shell at attach time
+        self.deliver: Optional[Callable[[Message], None]] = None
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.denials = 0
+        self.nacks_sent = 0
+        #: sliding-window traffic meters — the "debugging and tracing
+        #: support at the message passing layer" the design goals promise
+        self.tx_meter = RateMeter(window_cycles=10_000, buckets=10)
+        self.rx_meter = RateMeter(window_cycles=10_000, buckets=10)
+        engine.process(self._egress_loop(), name=f"{tile_name}.mon.eg")
+        engine.process(self._ingress_loop(), name=f"{tile_name}.mon.in")
+
+    def set_rate_limit(self, flits_per_cycle: Optional[float],
+                       burst: int = 32) -> None:
+        """Install/replace/remove this tile's injection rate limit.
+
+        Management-plane policy knob (Section 4.5): operators can throttle
+        a misbehaving tenant without touching anyone else's monitor.
+        """
+        if flits_per_cycle is None:
+            self.bucket = None
+            return
+        self.bucket = TokenBucket(
+            rate_per_cycle=flits_per_cycle, burst=burst,
+            start_time=self.engine.now,
+        )
+
+    def telemetry(self) -> Dict[str, float]:
+        """One tile's live traffic/health snapshot for the operator plane.
+
+        ``tx_flits_per_cycle`` is measured over the last 10k cycles, so a
+        flooding tenant stands out immediately (see
+        ``MgmtPlane.police_rates``).
+        """
+        now = self.engine.now
+        return {
+            "tile": self.tile_name,
+            "messages_sent": float(self.messages_sent),
+            "messages_received": float(self.messages_received),
+            "denials": float(self.denials),
+            "nacks_sent": float(self.nacks_sent),
+            "drained": float(self.drained),
+            "tx_flits_per_cycle": self.tx_meter.rate(now),
+            "rx_msgs_per_cycle": self.rx_meter.rate(now),
+            "rate_limited": float(self.bucket is not None),
+        }
+
+    # -- cost reporting (D4 / A2) ---------------------------------------------
+
+    def logic_cost(self) -> ResourceVector:
+        return monitor_cost(
+            cap_table_size=self.cap_table_size,
+            service_table_size=max(16, len(self.name_table)),
+            rate_limited=self.bucket is not None,
+        )
+
+    # -- egress -----------------------------------------------------------------
+
+    def submit(self, msg: Message) -> Event:
+        """Accelerator-side entry: returns an event that succeeds when the
+        message has been admitted to the NoC, or fails with the denial."""
+        done = self.engine.event(f"{self.tile_name}.submit#{msg.mid}")
+        if self.drained:
+            done.fail(TileFault(f"{self.tile_name} is fail-stopped"))
+            return done
+        msg.src = self.tile_name  # monitors stamp identity; no spoofing
+        self._egress_queue.try_put((msg, done))
+        return done
+
+    def _egress_loop(self):
+        while True:
+            msg, done = yield self._egress_queue.get()
+            if self.drained:
+                done.fail(TileFault(f"{self.tile_name} is fail-stopped"))
+                continue
+            try:
+                dst_tile = self._check_egress(msg)
+            except (AccessDenied, CapabilityError, ServiceUnavailable,
+                    ProtocolError, SegmentFault) as err:
+                self.denials += 1
+                self.stats.counter(f"{self.tile_name}.denials").inc()
+                self.tracer.emit(self.engine.now, "monitor.deny",
+                                 self.tile_name, dst=msg.dst, op=msg.op,
+                                 reason=type(err).__name__)
+                done.fail(err)
+                continue
+            if self.enforce:
+                yield MONITOR_EGRESS_CYCLES
+            size_flits = flits_for_bytes(msg.wire_bytes, self.ni.network.flit_bytes)
+            if self.bucket is not None:
+                wait = self.bucket.cycles_until(self.engine.now, size_flits)
+                while wait > 0:
+                    yield wait
+                    wait = self.bucket.cycles_until(self.engine.now, size_flits)
+                self.bucket.consume(self.engine.now, size_flits)
+            msg.sent_at = self.engine.now
+            yield self.ni.send(
+                dst=dst_tile,
+                payload=msg,
+                payload_bytes=msg.wire_bytes,
+                vc_class=msg.priority,
+            )
+            self.messages_sent += 1
+            self.tx_meter.record(self.engine.now, size_flits)
+            self.stats.counter("monitor.messages_sent").inc()
+            done.succeed(msg)
+
+    def _check_egress(self, msg: Message) -> int:
+        """All egress policy; returns the destination tile id."""
+        dst_tile = self.name_table.get(msg.dst)
+        if dst_tile is None:
+            raise ServiceUnavailable(f"no endpoint named {msg.dst!r}")
+        if not self.enforce:
+            return dst_tile
+        # responses/errors flow back without a SEND cap: the request was
+        # authorized, and peers must be able to receive their answers.
+        if msg.kind in (MessageKind.RESPONSE, MessageKind.ERROR):
+            return dst_tile
+        self._require_send_cap(msg.dst)
+        if msg.op in ("mem.read", "mem.write") and isinstance(msg.payload, MemAccess):
+            if msg.cap is None:
+                raise AccessDenied(f"{msg.op} without a memory capability")
+            self.spu.check(
+                msg.cap,
+                offset=msg.payload.offset,
+                nbytes=msg.payload.nbytes,
+                is_write=(msg.op == "mem.write"),
+            )
+        return dst_tile
+
+    def _require_send_cap(self, endpoint: str) -> None:
+        """The tile must hold SEND for the destination endpoint."""
+        for cap in self.caps.holder_caps(self.tile_name):
+            if cap.endpoint == endpoint and cap.allows(Rights.SEND):
+                return
+        raise AccessDenied(
+            f"{self.tile_name} holds no SEND capability for {endpoint!r}"
+        )
+
+    # -- ingress ----------------------------------------------------------------
+
+    def _ingress_loop(self):
+        while True:
+            pkt = yield self.ni.recv()
+            msg = pkt.payload
+            if not isinstance(msg, Message):
+                continue  # stray traffic; monitors only speak Message
+            if self.enforce:
+                yield MONITOR_INGRESS_CYCLES
+            if self.drained:
+                self._nack(msg)
+                continue
+            self.messages_received += 1
+            self.rx_meter.record(self.engine.now)
+            self.stats.counter("monitor.messages_received").inc()
+            if self.deliver is not None:
+                self.deliver(msg)
+
+    def _nack(self, msg: Message) -> None:
+        """Fail-stop semantics: reject communication with a drained tile."""
+        if msg.kind != MessageKind.REQUEST:
+            return  # never NACK responses/events: no error loops
+        self.nacks_sent += 1
+        error = msg.make_response(
+            payload=f"{self.tile_name} is fail-stopped", error=True
+        )
+        error.src = self.tile_name
+        dst_tile = self.name_table.get(error.dst)
+        if dst_tile is None:
+            return
+        self.tracer.emit(self.engine.now, "monitor.nack", self.tile_name,
+                         to=error.dst, mid=error.mid)
+        # trusted path: NACKs bypass the egress queue and rate limiter so a
+        # drained tile cannot be wedged by its own policy state
+        self.ni.send(dst=dst_tile, payload=error,
+                     payload_bytes=error.wire_bytes, vc_class=msg.priority)
+
+    # -- fault handling hooks (§4.4) -----------------------------------------------
+
+    def drain(self) -> None:
+        """Enter fail-stop: outgoing queue is flushed with errors, future
+        ingress requests are NACKed, future submits fail."""
+        if self.drained:
+            return
+        self.drained = True
+        self.tracer.emit(self.engine.now, "monitor.drain", self.tile_name)
+        self.stats.counter("monitor.drains").inc()
+        while True:
+            ok, entry = self._egress_queue.try_get()
+            if not ok:
+                break
+            _msg, done = entry
+            if not done.triggered:
+                done.fail(TileFault(f"{self.tile_name} drained"))
+
+    def undrain(self) -> None:
+        """Leave fail-stop after the slot is reloaded with a fresh bitstream."""
+        self.drained = False
+        self.tracer.emit(self.engine.now, "monitor.undrain", self.tile_name)

@@ -1,0 +1,349 @@
+"""Apiary OS services: memory and networking.
+
+Figure 1 shows OS services occupying tile slots just like user accelerators
+("The accelerator slot can be used either by an OS service such as
+networking or a user accelerator"), so both services here are
+:class:`~repro.accel.base.Accelerator` subclasses speaking the same shell
+API — new services can be added without touching the kernel, the
+microkernel property the paper wants.
+
+* :class:`MemoryService` — segment allocation with capability minting,
+  capability-granting for composition, and read/write access to the DRAM
+  model (Section 4.6).
+* :class:`NetworkService` — the portable network endpoint: binds ports for
+  tiles, runs the reliable transport, and hides the 10G/100G MAC interface
+  divergence behind :class:`MacAdapter` (Sections 2 and 4.3; experiment
+  D10).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.accel.base import Accelerator
+from repro.cap.capability import Rights
+from repro.cap.captable import CapabilityStore
+from repro.errors import (
+    AccessDenied,
+    AllocationError,
+    ConfigError,
+    ProtocolError,
+    SegmentFault,
+)
+from repro.hw.resources import ResourceVector
+from repro.kernel.message import MemAccess, Message
+from repro.mem.allocator import FirstFitAllocator
+from repro.mem.dram import Dram
+from repro.mem.segment import SegmentTable
+from repro.net.ethernet import HundredGigMac, TenGigMac
+from repro.net.frame import EthernetFrame
+from repro.net.transport import ReliableEndpoint
+
+__all__ = [
+    "MemoryService",
+    "NetworkService",
+    "MacAdapter",
+    "TenGigAdapter",
+    "HundredGigAdapter",
+]
+
+
+class MemoryService(Accelerator):
+    """The memory tile: allocator + segment table + capability minting.
+
+    Request API (all via shell messages to this service's endpoint):
+
+    ``mem.alloc {size, label}``  -> ``{cap, sid, size}``
+    ``mem.free {sid}`` + cap     -> ack (revokes the whole cap subtree)
+    ``mem.read MemAccess`` + cap -> data (payload_bytes = nbytes)
+    ``mem.write MemAccess`` + cap-> ack
+    ``mem.grant {to, rights}`` + cap -> ``{cap}`` for the grantee
+
+    Reads/writes were already validated by the *sender's* monitor SPU; the
+    service re-validates (defense in depth) and then pays DRAM time.
+    """
+
+    COST = ResourceVector(logic_cells=30_000, bram_kb=512, dsp_slices=0)
+    PRIMITIVES = {"lut_logic": 24_000, "bram": 128, "fifo": 8}
+
+    def __init__(self, name: str, dram: Dram, caps: CapabilityStore,
+                 segments: SegmentTable,
+                 default_rights: Rights = Rights.rw() | Rights.GRANT):
+        super().__init__(name)
+        self.dram = dram
+        self.caps = caps
+        self.segments = segments
+        self.default_rights = default_rights
+        self.allocator = FirstFitAllocator(dram.capacity_bytes)
+        self._backing: Dict[int, bytearray] = {}  # sid -> stored bytes
+        self._extent_of: Dict[int, int] = {}      # sid -> base
+        self.requests_served = 0
+
+    def main(self, shell):
+        while True:
+            msg = yield shell.recv()
+            # serve concurrently: DRAM accesses from different banks overlap
+            shell.spawn(f"req{msg.mid}", self._serve(shell, msg))
+
+    def _serve(self, shell, msg: Message):
+        self.requests_served += 1
+        handler = {
+            "mem.alloc": self._alloc,
+            "mem.free": self._free,
+            "mem.read": self._read,
+            "mem.write": self._write,
+            "mem.grant": self._grant,
+        }.get(msg.op)
+        if handler is None:
+            yield shell.reply(msg, payload=f"unknown op {msg.op!r}", error=True)
+            return
+        try:
+            payload, payload_bytes = yield from handler(msg)
+        except (AllocationError, AccessDenied, SegmentFault, ProtocolError,
+                ConfigError) as err:
+            yield shell.reply(msg, payload=f"{type(err).__name__}: {err}",
+                              error=True)
+            return
+        yield shell.reply(msg, payload=payload, payload_bytes=payload_bytes)
+
+    # -- handlers (process generators returning (payload, payload_bytes)) -----
+
+    def _alloc(self, msg: Message):
+        size = int(msg.payload["size"])
+        label = msg.payload.get("label", "")
+        base, rounded = self.allocator.allocate(size)
+        seg = self.segments.create(base=base, size=rounded, owner=msg.src,
+                                   label=label)
+        cap = self.caps.mint(msg.src, self.default_rights, segment_id=seg.sid)
+        self._backing[seg.sid] = bytearray()
+        self._extent_of[seg.sid] = base
+        yield 4  # allocator latency
+        return {"cap": cap, "sid": seg.sid, "size": rounded}, 16
+
+    def _free(self, msg: Message):
+        sid = int(msg.payload["sid"])
+        if msg.cap is None:
+            raise AccessDenied("mem.free needs the segment capability")
+        cap = self.caps.lookup(msg.src, msg.cap, Rights.READ)
+        if cap.segment_id != sid:
+            raise AccessDenied(f"capability does not cover segment {sid}")
+        self.caps.revoke(cap.cid)
+        self.segments.free(sid)
+        self.allocator.free(self._extent_of.pop(sid))
+        self._backing.pop(sid, None)
+        yield 4
+        return "freed", 0
+
+    def _locate(self, msg: Message, is_write: bool):
+        if msg.cap is None:
+            raise AccessDenied(f"{msg.op} needs a memory capability")
+        if not isinstance(msg.payload, MemAccess):
+            raise ProtocolError(f"{msg.op} payload must be a MemAccess")
+        needed = Rights.WRITE if is_write else Rights.READ
+        cap = self.caps.lookup(msg.src, msg.cap, needed)
+        if cap.segment_id is None:
+            raise AccessDenied("not a memory capability")
+        seg = self.segments.get(cap.segment_id)
+        physical = seg.translate(msg.payload.offset, msg.payload.nbytes)
+        return seg, physical
+
+    def _write(self, msg: Message):
+        seg, physical = self._locate(msg, is_write=True)
+        access: MemAccess = msg.payload
+        yield from self.dram.access(physical, access.nbytes, is_write=True)
+        store = self._backing[seg.sid]
+        end = access.offset + access.nbytes
+        if len(store) < end:
+            store.extend(b"\x00" * (end - len(store)))
+        data = access.data
+        if isinstance(data, (bytes, bytearray)):
+            store[access.offset:end] = data[: access.nbytes].ljust(
+                access.nbytes, b"\x00"
+            )
+        return "written", 0
+
+    def _read(self, msg: Message):
+        seg, physical = self._locate(msg, is_write=False)
+        access: MemAccess = msg.payload
+        yield from self.dram.access(physical, access.nbytes, is_write=False)
+        store = self._backing[seg.sid]
+        end = access.offset + access.nbytes
+        data = bytes(store[access.offset:end]).ljust(access.nbytes, b"\x00")
+        return data, access.nbytes
+
+    def _grant(self, msg: Message):
+        if msg.cap is None:
+            raise AccessDenied("mem.grant needs the parent capability")
+        to_tile = msg.payload["to"]
+        rights = msg.payload["rights"]
+        child = self.caps.derive(msg.src, msg.cap, to_tile, rights)
+        yield 2
+        return {"cap": child}, 8
+
+
+# -- MAC adapters: one OS-side driver per divergent vendor interface -------------
+
+
+class MacAdapter:
+    """The uniform MAC interface the network service programs against.
+
+    This is the "additional infrastructure" of Section 2, written once in
+    the OS instead of once per application.
+    """
+
+    gbps: int = 0
+    mac_addr: str = ""
+
+    def bring_up(self):
+        """Process generator: perform the core-specific reset/bring-up."""
+        raise NotImplementedError
+
+    def transmit(self, frame: EthernetFrame):
+        """Process generator: send one frame (handles core backpressure)."""
+        raise NotImplementedError
+
+    def on_rx(self, callback) -> None:
+        raise NotImplementedError
+
+
+class TenGigAdapter(MacAdapter):
+    """Drives the three-step reset protocol of the 10G core."""
+
+    def __init__(self, mac: TenGigMac):
+        self.mac = mac
+        self.gbps = mac.GBPS
+        self.mac_addr = mac.mac_addr
+
+    def bring_up(self):
+        self.mac.assert_reset()
+        self.mac.release_reset()
+        yield TenGigMac.RESET_CYCLES
+        self.mac.enable_tx_rx()
+
+    def transmit(self, frame: EthernetFrame):
+        yield self.mac.send_frame(frame)
+
+    def on_rx(self, callback) -> None:
+        self.mac.set_rx_callback(callback)
+
+
+class HundredGigAdapter(MacAdapter):
+    """Drives the register/alignment protocol of the 100G core."""
+
+    POLL_CYCLES = 100
+
+    def __init__(self, mac: HundredGigMac):
+        self.mac = mac
+        self.gbps = mac.GBPS
+        self.mac_addr = mac.mac_addr
+
+    def bring_up(self):
+        self.mac.write_reg("cfg_tx_enable", 1)
+        self.mac.write_reg("cfg_rx_enable", 1)
+        while self.mac.read_reg("stat_aligned") == 0:
+            yield self.POLL_CYCLES
+
+    def transmit(self, frame: EthernetFrame):
+        while not self.mac.tx_push(frame):
+            yield self.POLL_CYCLES // 10  # FIFO full: retry
+
+    def on_rx(self, callback) -> None:
+        self.mac.on_rx(callback)
+
+
+class NetworkService(Accelerator):
+    """The networking tile: ports, reliable transport, MAC driving.
+
+    Request API:
+
+    ``net.bind {port}``                       -> ack; rx for that port is
+        forwarded to the binder as ``net.rx`` events.
+    ``net.send {dst_mac, port, data, nbytes}``-> ack when ACKed by the peer
+        transport.
+
+    One :class:`ReliableEndpoint` is maintained per peer MAC, multiplexing
+    all ports — mirroring how hardware stacks share one connection table.
+    """
+
+    COST = ResourceVector(logic_cells=45_000, bram_kb=384, dsp_slices=0)
+    PRIMITIVES = {"lut_logic": 36_000, "bram": 96, "fifo": 16}
+
+    def __init__(self, name: str, adapter: MacAdapter,
+                 transport_window: int = 8, transport_timeout: int = 20_000):
+        super().__init__(name)
+        self.adapter = adapter
+        self.transport_window = transport_window
+        self.transport_timeout = transport_timeout
+        self._ports: Dict[int, str] = {}  # port -> tile endpoint
+        self._peers: Dict[str, ReliableEndpoint] = {}
+        self._engine = None
+        self._shell = None
+        self.frames_forwarded = 0
+        self.rx_unbound = 0
+
+    def main(self, shell):
+        self._shell = shell
+        self._engine = shell.engine
+        yield from self.adapter.bring_up()
+        self.adapter.on_rx(self._mac_rx)
+        while True:
+            msg = yield shell.recv()
+            shell.spawn(f"req{msg.mid}", self._serve(shell, msg))
+
+    def _serve(self, shell, msg: Message):
+        if msg.op == "net.bind":
+            port = int(msg.payload["port"])
+            if port in self._ports and self._ports[port] != msg.src:
+                yield shell.reply(msg, payload=f"port {port} taken", error=True)
+                return
+            self._ports[port] = msg.src
+            yield shell.reply(msg, payload="bound")
+        elif msg.op == "net.send":
+            body = msg.payload
+            endpoint = self._peer(body["dst_mac"])
+            yield endpoint.send(
+                {"port": body["port"], "data": body["data"],
+                 "src_mac": self.adapter.mac_addr},
+                payload_bytes=int(body["nbytes"]),
+            )
+            yield shell.reply(msg, payload="sent")
+        else:
+            yield shell.reply(msg, payload=f"unknown op {msg.op!r}", error=True)
+
+    def _peer(self, peer_mac: str) -> ReliableEndpoint:
+        if peer_mac not in self._peers:
+            endpoint = ReliableEndpoint(
+                self._engine,
+                send_frame=self._tx_frame,
+                local_mac=self.adapter.mac_addr,
+                peer_mac=peer_mac,
+                window=self.transport_window,
+                timeout=self.transport_timeout,
+                name=f"{self.name}->{peer_mac}",
+            )
+            self._peers[peer_mac] = endpoint
+            self._engine.process(self._rx_pump(endpoint),
+                                 name=f"{self.name}.rx.{peer_mac}")
+        return self._peers[peer_mac]
+
+    def _tx_frame(self, frame: EthernetFrame) -> None:
+        """Transport -> MAC: run the adapter's (possibly blocking) tx."""
+        self._engine.process(self.adapter.transmit(frame),
+                             name=f"{self.name}.tx")
+
+    def _mac_rx(self, frame: EthernetFrame) -> None:
+        """MAC -> transport demux by source MAC."""
+        endpoint = self._peer(frame.src_mac)
+        endpoint.deliver_frame(frame)
+
+    def _rx_pump(self, endpoint: ReliableEndpoint):
+        """Deliver transport payloads to the tile bound to their port."""
+        while True:
+            payload = yield endpoint.recv()
+            port = payload.get("port")
+            dst = self._ports.get(port)
+            if dst is None:
+                self.rx_unbound += 1
+                continue
+            self.frames_forwarded += 1
+            yield self._shell.notify(dst, "net.rx", payload=payload)

@@ -1,0 +1,214 @@
+"""The Apiary shell: the standard, board-independent API of Section 4.3.
+
+"Each module is wrapped in an Apiary shell that interfaces to the fabric
+and manages capabilities on the module's behalf."  Accelerator code
+programs against this class only — no MAC registers, no DRAM controllers,
+no NoC flits — which is precisely the portability claim D10 tests by
+running the same accelerator on different simulated boards.
+
+The API (all methods returning events are yielded from accelerator
+process generators):
+
+* ``call(dst, op, ...)`` — RPC to any endpoint; correlation handled here.
+* ``notify(dst, op, ...)`` — one-way event.
+* ``recv()`` / ``reply(msg, ...)`` — serve incoming requests.
+* ``alloc/free/read/write/grant`` — memory through ``svc.mem``.
+* ``net_bind/net_send`` plus ``net_rx`` events — networking through
+  ``svc.net``.
+* ``spawn(name, gen)`` — create a child process inside this tile's fault
+  domain (the multi-context execution model of Section 4.2/4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cap.capability import CapabilityRef
+from repro.errors import ProtocolError, ServiceError, ServiceUnavailable
+from repro.kernel.message import MemAccess, Message, MessageKind
+from repro.kernel.monitor import Monitor
+from repro.sim import Channel, Engine, Event, Process
+
+__all__ = ["Shell", "AllocatedSegment"]
+
+
+class AllocatedSegment:
+    """What ``alloc`` returns: the capability plus segment metadata."""
+
+    __slots__ = ("cap", "sid", "size")
+
+    def __init__(self, cap: CapabilityRef, sid: int, size: int):
+        self.cap = cap
+        self.sid = sid
+        self.size = size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<AllocatedSegment sid={self.sid} size={self.size}>"
+
+
+class Shell:
+    """One tile's shell.  Created by the Tile; handed to the accelerator."""
+
+    def __init__(self, engine: Engine, monitor: Monitor,
+                 mem_service: str = "svc.mem", net_service: str = "svc.net"):
+        self.engine = engine
+        self.monitor = monitor
+        self.mem_service = mem_service
+        self.net_service = net_service
+        self.inbox: Channel = Channel(engine, capacity=None,
+                                      name=f"{self.name}.inbox")
+        self._pending: Dict[int, Event] = {}
+        self._children: List[Process] = []
+        self.calls_made = 0
+        self.calls_failed = 0
+        self.calls_timed_out = 0
+        monitor.deliver = self._deliver
+
+    @property
+    def name(self) -> str:
+        return self.monitor.tile_name
+
+    # -- message plumbing ----------------------------------------------------
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.kind in (MessageKind.RESPONSE, MessageKind.ERROR):
+            waiter = self._pending.pop(msg.mid, None)
+            if waiter is None:
+                return  # late response after timeout: drop
+            if msg.kind == MessageKind.ERROR:
+                self.calls_failed += 1
+                waiter.fail(ServiceError(str(msg.payload)))
+            else:
+                waiter.succeed(msg)
+        else:
+            self.inbox.try_put(msg)
+
+    def call(
+        self,
+        dst: str,
+        op: str,
+        payload: Any = None,
+        payload_bytes: int = 0,
+        cap: Optional[CapabilityRef] = None,
+        priority: int = 0,
+        timeout: Optional[int] = None,
+    ) -> Event:
+        """RPC: event succeeds with the response :class:`Message`.
+
+        Failure modes: monitor denial (AccessDenied/ServiceUnavailable),
+        an ERROR response (ServiceError), or timeout (ServiceUnavailable).
+        """
+        msg = Message(src=self.name, dst=dst, op=op,
+                      kind=MessageKind.REQUEST, payload=payload,
+                      payload_bytes=payload_bytes, cap=cap, priority=priority)
+        result = self.engine.event(f"{self.name}.call#{msg.mid}")
+        self._pending[msg.mid] = result
+        self.calls_made += 1
+        admitted = self.monitor.submit(msg)
+
+        def on_admit(ev: Event) -> None:
+            if ev.failed and msg.mid in self._pending:
+                del self._pending[msg.mid]
+                if not result.triggered:
+                    result.fail(ev.value)
+
+        admitted.add_callback(on_admit)
+        if timeout is not None:
+            def on_timeout(_ev: Event) -> None:
+                if msg.mid in self._pending:
+                    del self._pending[msg.mid]
+                    self.calls_timed_out += 1
+                    if not result.triggered:
+                        result.fail(ServiceUnavailable(
+                            f"call {op!r} to {dst!r} timed out after {timeout}"
+                        ))
+            self.engine.timeout(timeout).add_callback(on_timeout)
+        return result
+
+    def notify(self, dst: str, op: str, payload: Any = None,
+               payload_bytes: int = 0, cap: Optional[CapabilityRef] = None,
+               priority: int = 0) -> Event:
+        """One-way event; the returned event tracks NoC admission only."""
+        msg = Message(src=self.name, dst=dst, op=op, kind=MessageKind.EVENT,
+                      payload=payload, payload_bytes=payload_bytes, cap=cap,
+                      priority=priority)
+        return self.monitor.submit(msg)
+
+    def recv(self) -> Event:
+        """Next incoming request/event for this tile."""
+        return self.inbox.get()
+
+    def reply(self, request: Message, payload: Any = None,
+              payload_bytes: int = 0, error: bool = False) -> Event:
+        response = request.make_response(payload=payload,
+                                         payload_bytes=payload_bytes,
+                                         error=error)
+        return self.monitor.submit(response)
+
+    # -- memory convenience API (over svc.mem) -----------------------------------
+
+    def alloc(self, size: int, label: str = "") -> Event:
+        """Allocate a segment; succeeds with :class:`AllocatedSegment`."""
+        result = self.engine.event(f"{self.name}.alloc")
+        call = self.call(self.mem_service, "mem.alloc",
+                         payload={"size": size, "label": label})
+
+        def done(ev: Event) -> None:
+            if result.triggered:
+                return
+            if ev.failed:
+                result.fail(ev.value)
+            else:
+                body = ev.value.payload
+                result.succeed(AllocatedSegment(
+                    cap=body["cap"], sid=body["sid"], size=body["size"],
+                ))
+
+        call.add_callback(done)
+        return result
+
+    def free(self, seg: AllocatedSegment) -> Event:
+        return self.call(self.mem_service, "mem.free", payload={"sid": seg.sid},
+                         cap=seg.cap)
+
+    def mem_write(self, seg: AllocatedSegment, offset: int, data: Any,
+                  nbytes: int) -> Event:
+        return self.call(self.mem_service, "mem.write",
+                         payload=MemAccess(offset=offset, nbytes=nbytes,
+                                           data=data),
+                         payload_bytes=nbytes, cap=seg.cap)
+
+    def mem_read(self, seg: AllocatedSegment, offset: int, nbytes: int) -> Event:
+        """Succeeds with the response message; ``payload`` holds the data."""
+        return self.call(self.mem_service, "mem.read",
+                         payload=MemAccess(offset=offset, nbytes=nbytes),
+                         cap=seg.cap)
+
+    def grant(self, seg: AllocatedSegment, to_tile: str, rights: Any) -> Event:
+        """Share a segment with another tile (composition, Section 2)."""
+        return self.call(self.mem_service, "mem.grant",
+                         payload={"to": to_tile, "rights": rights},
+                         cap=seg.cap)
+
+    # -- network convenience API (over svc.net) -------------------------------------
+
+    def net_bind(self, port: int) -> Event:
+        return self.call(self.net_service, "net.bind", payload={"port": port})
+
+    def net_send(self, dst_mac: str, port: int, data: Any, nbytes: int) -> Event:
+        return self.call(self.net_service, "net.send",
+                         payload={"dst_mac": dst_mac, "port": port,
+                                  "data": data, "nbytes": nbytes},
+                         payload_bytes=nbytes)
+
+    # -- multi-context execution ---------------------------------------------------
+
+    def spawn(self, name: str, generator) -> Process:
+        """Run a child process inside this tile's fault domain."""
+        proc = self.engine.process(generator, name=f"{self.name}.{name}")
+        self._children.append(proc)
+        return proc
+
+    @property
+    def children(self) -> List[Process]:
+        return list(self._children)

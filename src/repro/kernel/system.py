@@ -1,0 +1,253 @@
+"""ApiarySystem: the assembled hardware OS (Figure 1 in code).
+
+Builds the whole stack on one simulated FPGA: the NoC, one monitor + shell
++ reconfigurable slot per tile, the capability store and segment table, the
+management plane, and — on request — the memory and network services on
+tiles of their own.  Also provides :func:`build_figure1`, the exact
+configuration the paper's Figure 1 draws, used by the F1 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cap.captable import CapabilityStore
+from repro.errors import ConfigError
+from repro.hw.bitstream import DesignRuleChecker
+from repro.hw.device import FpgaPart, part as lookup_part
+from repro.hw.region import ReconfigRegion
+from repro.hw.resources import ResourceBudget, ResourceVector, monitor_cost, router_cost
+from repro.kernel.fault import FaultManager, FaultPolicy
+from repro.kernel.mgmt import MgmtPlane
+from repro.kernel.monitor import Monitor
+from repro.kernel.services import (
+    HundredGigAdapter,
+    MemoryService,
+    NetworkService,
+    TenGigAdapter,
+)
+from repro.kernel.tile import Tile
+from repro.mem.dram import DDR4_TIMING, Dram, DramTiming
+from repro.mem.segment import SegmentTable
+from repro.net.ethernet import HundredGigMac, TenGigMac
+from repro.net.frame import EthernetFabric
+from repro.noc.network import Network
+from repro.noc.topology import Mesh2D
+from repro.sim import Engine, Event, RngPool, StatsRegistry, Tracer
+
+__all__ = ["ApiarySystem", "build_figure1"]
+
+
+class ApiarySystem:
+    """One direct-attached FPGA running Apiary.
+
+    Parameters (the main knobs; see DESIGN.md for the full table)
+    ----------
+    width, height: tile grid dimensions.
+    part_name: FPGA part from the device database (resource budgeting).
+    enforce: monitor checks on/off (off = the A2 "no OS" ablation).
+    rate_limit_flits: per-tile injection rate limit (None = unlimited).
+    mem_tile / with_memory: where/whether to place the memory service.
+    fabric / mac_kind / net_tile: datacenter attachment via a 10G or 100G
+        MAC wrapped by the network service.
+    policy: fault-handling policy (fail-stop or preempt).
+    """
+
+    def __init__(
+        self,
+        width: int = 4,
+        height: int = 4,
+        engine: Optional[Engine] = None,
+        part_name: str = "VU29P",
+        enforce: bool = True,
+        rate_limit_flits: Optional[float] = None,
+        rate_limit_burst: int = 32,
+        num_vcs: int = 2,
+        vc_classes: int = 2,
+        buffer_depth: int = 4,
+        hop_latency: int = 2,
+        noc_flit_bytes: int = 16,
+        policy: FaultPolicy = FaultPolicy.FAIL_STOP,
+        drc: Optional[DesignRuleChecker] = None,
+        seed: int = 0,
+        with_memory: bool = True,
+        mem_tile: int = 0,
+        dram_channels: int = 2,
+        dram_capacity: int = 1 << 30,
+        dram_timing: DramTiming = DDR4_TIMING,
+        fabric: Optional[EthernetFabric] = None,
+        mac_kind: str = "100g",
+        mac_addr: str = "fpga0",
+        net_tile: int = 1,
+        monitor_cap_slots: int = 64,
+    ):
+        self.engine = engine or Engine()
+        self.rng = RngPool(seed=seed)
+        self.stats = StatsRegistry()
+        self.tracer = Tracer()
+        self.part: FpgaPart = lookup_part(part_name)
+        self.topo = Mesh2D(width, height)
+        self.enforce = enforce
+        self.network = Network(
+            self.engine, self.topo,
+            num_vcs=num_vcs, vc_classes=vc_classes,
+            buffer_depth=buffer_depth, hop_latency=hop_latency,
+            flit_bytes=noc_flit_bytes,
+            stats=self.stats, tracer=self.tracer,
+        )
+        self.caps = CapabilityStore(slots_per_holder=monitor_cap_slots)
+        self.segments = SegmentTable()
+        self.name_table: Dict[str, int] = {}
+        self.fault_manager = FaultManager(self.engine, policy=policy,
+                                          stats=self.stats, tracer=self.tracer)
+        self.drc = drc
+
+        # resource budgeting: routers + monitors are the static framework
+        self.budget = ResourceBudget(self.part)
+        tiles = self.topo.node_count
+        r_cost = router_cost(num_vcs=num_vcs, buffer_depth=buffer_depth,
+                             hardened=self.part.hardened_noc)
+        m_cost = monitor_cost(cap_table_size=monitor_cap_slots,
+                              rate_limited=rate_limit_flits is not None)
+        for node in range(tiles):
+            self.budget.allocate(f"apiary.router{node}", r_cost)
+            self.budget.allocate(f"apiary.monitor{node}", m_cost)
+        free = self.budget.free
+        self.slot_capacity = ResourceVector(
+            logic_cells=free.logic_cells // tiles,
+            bram_kb=free.bram_kb // tiles,
+            dsp_slices=free.dsp_slices // tiles,
+        )
+
+        self.tiles: List[Tile] = []
+        for node in range(tiles):
+            monitor = Monitor(
+                self.engine,
+                tile_name=f"tile{node}",
+                ni=self.network.interface(node),
+                caps=self.caps,
+                segments=self.segments,
+                name_table=self.name_table,
+                enforce=enforce,
+                rate_limit_flits_per_cycle=rate_limit_flits,
+                rate_limit_burst=rate_limit_burst,
+                cap_table_size=monitor_cap_slots,
+                stats=self.stats,
+                tracer=self.tracer,
+            )
+            region = ReconfigRegion(self.engine, self.slot_capacity,
+                                    drc=drc, name=f"slot{node}")
+            self.tiles.append(Tile(self.engine, node, monitor, region,
+                                   fault_manager=self.fault_manager))
+
+        self.mgmt = MgmtPlane(self.engine, self.caps, self.name_table,
+                              self.tiles, stats=self.stats, tracer=self.tracer)
+        for node in range(tiles):
+            self.mgmt.register_endpoint(f"tile{node}", node)
+
+        # OS services
+        self.dram: Optional[Dram] = None
+        self.mem_service: Optional[MemoryService] = None
+        self._boot_events: List[Event] = []
+        if with_memory:
+            self.dram = Dram(self.engine, channels=dram_channels,
+                             capacity_bytes=dram_capacity, timing=dram_timing)
+            self.mem_service = MemoryService("svc.mem", self.dram, self.caps,
+                                             self.segments)
+            self._boot_events.append(
+                self.mgmt.load_service(mem_tile, self.mem_service, "svc.mem")
+            )
+
+        self.net_service: Optional[NetworkService] = None
+        self.mac = None
+        if fabric is not None:
+            if mac_kind == "100g":
+                self.mac = HundredGigMac(self.engine, fabric, mac_addr)
+                adapter = HundredGigAdapter(self.mac)
+            elif mac_kind == "10g":
+                self.mac = TenGigMac(self.engine, fabric, mac_addr)
+                adapter = TenGigAdapter(self.mac)
+            else:
+                raise ConfigError(f"unknown MAC kind {mac_kind!r}")
+            self.net_service = NetworkService("svc.net", adapter)
+            self._boot_events.append(
+                self.mgmt.load_service(net_tile, self.net_service, "svc.net")
+            )
+
+    # -- convenience -------------------------------------------------------------
+
+    def boot(self, extra_cycles: int = 5000) -> None:
+        """Run until the OS services are loaded and brought up."""
+        for ev in self._boot_events:
+            self.engine.run_until_done(ev, limit=10_000_000)
+        self.engine.run(until=self.engine.now + extra_cycles)
+
+    def tile(self, node: int) -> Tile:
+        return self.tiles[node]
+
+    def start_app(self, node: int, accelerator,
+                  endpoint: Optional[str] = None,
+                  signed_by: Optional[str] = None) -> Event:
+        """Load a user accelerator (with default service wiring)."""
+        return self.mgmt.load(node, accelerator, endpoint=endpoint,
+                              signed_by=signed_by)
+
+    def apiary_overhead_fraction(self) -> float:
+        """Share of the device's logic the static framework consumes (D4)."""
+        return self.budget.share_of_device("apiary.")
+
+    def run(self, until: Optional[int] = None) -> None:
+        self.engine.run(until=until)
+
+    def run_until(self, event: Event, limit: int = 10_000_000):
+        return self.engine.run_until_done(event, limit=limit)
+
+    def describe(self) -> str:
+        """ASCII rendering of the tile grid (the F1 experiment's figure)."""
+        lines = [
+            f"Apiary on {self.part.name} "
+            f"({self.topo.width}x{self.topo.height} tiles, "
+            f"OS overhead {self.apiary_overhead_fraction():.1%} of device)",
+        ]
+        reverse = {}
+        for name, node in self.name_table.items():
+            if not name.startswith("tile"):
+                reverse.setdefault(node, []).append(name)
+        width = self.topo.width
+        for y in range(self.topo.height):
+            row = []
+            for x in range(width):
+                node = self.topo.node_at(x, y)
+                tile = self.tiles[node]
+                if tile.failed:
+                    label = "FAILED"
+                elif tile.accelerator is not None:
+                    label = tile.accelerator.name
+                else:
+                    label = "-"
+                names = reverse.get(node)
+                if names:
+                    label = f"{label}[{','.join(sorted(names))}]"
+                row.append(f"{label:^24}")
+            lines.append(" | ".join(row))
+        return "\n".join(lines)
+
+
+def build_figure1(engine: Optional[Engine] = None,
+                  fabric: Optional[EthernetFabric] = None) -> ApiarySystem:
+    """The configuration Figure 1 of the paper draws.
+
+    "This configuration has two applications composed of multiple
+    accelerators" plus OS services (networking, memory) on their own tiles:
+    a 3x2 grid with the memory service, the network service, application A
+    on two tiles (a pipeline), and application B on two tiles (a replicated
+    service).
+    """
+    engine = engine or Engine()
+    if fabric is None:
+        fabric = EthernetFabric(engine, latency_cycles=500)
+    system = ApiarySystem(
+        width=3, height=2, engine=engine,
+        mem_tile=0, fabric=fabric, net_tile=1,
+    )
+    return system

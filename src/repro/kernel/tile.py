@@ -1,0 +1,156 @@
+"""A tile: NoC router + monitor + reconfigurable accelerator slot (Figure 1).
+
+"Each tile on the NoC contains an untrusted accelerator, an Apiary monitor,
+and a NoC router."  The router lives in :mod:`repro.noc`; this class binds
+one node's monitor, shell, and partial-reconfiguration region together and
+owns the tile-level fault domain: every process the accelerator runs
+(its ``main`` and any spawned contexts) reports failures here, and the
+:class:`~repro.kernel.fault.FaultManager` decides fail-stop vs. preempt.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import ReconfigError, TileFault
+from repro.hw.region import ReconfigRegion
+from repro.kernel.monitor import Monitor
+from repro.kernel.shell import Shell
+from repro.sim import Engine, Event, Process
+
+__all__ = ["Tile"]
+
+
+class Tile:
+    """One Apiary tile."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node: int,
+        monitor: Monitor,
+        region: ReconfigRegion,
+        fault_manager=None,
+    ):
+        self.engine = engine
+        self.node = node
+        self.monitor = monitor
+        self.region = region
+        self.fault_manager = fault_manager
+        self.shell = Shell(engine, monitor)
+        self.accelerator = None
+        self.main_process: Optional[Process] = None
+        self.saved_contexts: Dict[str, Dict[str, Any]] = {}
+        self.failed = False
+
+    @property
+    def endpoint(self) -> str:
+        return self.monitor.tile_name
+
+    @property
+    def occupied(self) -> bool:
+        return self.accelerator is not None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, accelerator, signed_by: Optional[str] = None) -> Event:
+        """Load the accelerator's bitstream and start its main process.
+
+        The returned event succeeds when the accelerator is running (after
+        reconfiguration time) or fails with the DRC/reconfig rejection.
+        """
+        started = self.engine.event(f"{self.endpoint}.start")
+        if self.occupied:
+            started.fail(ReconfigError(
+                f"{self.endpoint} already runs {self.accelerator.name!r}"
+            ))
+            return started
+        load = self.region.load(accelerator.bitstream(signed_by=signed_by))
+
+        def on_loaded(ev: Event) -> None:
+            if ev.failed:
+                started.fail(ev.value)
+                return
+            self.accelerator = accelerator
+            accelerator.shell = self.shell
+            accelerator.tile = self
+            self.failed = False
+            self.monitor.undrain()
+            self.main_process = self.engine.process(
+                self._guarded("main", accelerator.main(self.shell)),
+                name=f"{self.endpoint}.main",
+            )
+            started.succeed(accelerator)
+
+        load.add_callback(on_loaded)
+        return started
+
+    def spawn_context(self, context: str, generator) -> Process:
+        """Run a user context on this accelerator, inside the fault domain.
+
+        This is the multi-process execution model of Section 4.2: one tile,
+        several contexts, each individually fault-tracked.
+        """
+        proc = self.engine.process(
+            self._guarded(context, generator),
+            name=f"{self.endpoint}.{context}",
+        )
+        return proc
+
+    def _guarded(self, context: str, generator):
+        """Wrap a process so faults report to the fault manager.
+
+        Any :class:`~repro.errors.ReproError` escaping the accelerator
+        (an injected :class:`TileFault`, an unhandled denial, a segment
+        fault...) is a *modelled* fault — contained via the fault manager,
+        never propagated: "Implementation errors in one module do not
+        propagate to other modules except through defined message-passing
+        interfaces."  :class:`Interrupt` is the OS killing/preempting the
+        process (fail-stop teardown); it dies quietly unless the
+        accelerator itself caught it to externalize state.  Anything else
+        (TypeError, KeyError...) is a bug in the *model* and propagates.
+        """
+        from repro.errors import ReproError
+        from repro.sim import Interrupt
+
+        try:
+            result = yield from generator
+            return result
+        except ReproError as err:
+            if self.fault_manager is not None:
+                self.fault_manager.report(self, context, err)
+                return None
+            raise
+        except Interrupt:
+            return None
+
+    # -- fault actions (invoked by the FaultManager) -------------------------------
+
+    def fail_stop(self) -> None:
+        """Drain the monitor and kill every process on the tile."""
+        if self.failed:
+            return
+        self.failed = True
+        self.monitor.drain()
+        # abort in-flight calls so peers don't wait on a dead tile
+        for waiter in list(self.shell._pending.values()):
+            if not waiter.triggered:
+                waiter.fail(TileFault(f"{self.endpoint} fail-stopped"))
+        self.shell._pending.clear()
+        if self.main_process is not None and self.main_process.alive:
+            self.main_process.interrupt("fail-stop")
+        for child in self.shell.children:
+            if child.alive:
+                child.interrupt("fail-stop")
+
+    def stop_and_unload(self) -> Event:
+        """Tear the tile down for reuse (management-plane operation)."""
+        self.fail_stop()
+        self.accelerator = None
+        self.main_process = None
+        done = self.region.unload()
+        return done
+
+    def __repr__(self) -> str:  # pragma: no cover
+        accel = self.accelerator.name if self.accelerator else "empty"
+        return f"<Tile {self.node} {self.endpoint} {accel}>"

@@ -1,0 +1,46 @@
+"""Memory substrate: DRAM timing, segments, allocators, protection, paging.
+
+Implements Section 4.6's design (segments + capabilities) together with the
+paged comparator the section argues against, so D7 can measure the tradeoff
+instead of asserting it.
+"""
+
+from repro.mem.allocator import (
+    BestFitAllocator,
+    BuddyAllocator,
+    Extent,
+    FirstFitAllocator,
+)
+from repro.mem.dram import (
+    DDR4_TIMING,
+    HBM2_TIMING,
+    Dram,
+    DramBank,
+    DramChannel,
+    DramTiming,
+)
+from repro.mem.paging import PTE_BYTES, TLB_HIT_CYCLES, TLB_MISS_CYCLES, PagedMmu
+from repro.mem.protection import SPU_CHECK_CYCLES, CheckedAccess, SegmentProtectionUnit
+from repro.mem.segment import Segment, SegmentTable
+
+__all__ = [
+    "Dram",
+    "DramBank",
+    "DramChannel",
+    "DramTiming",
+    "DDR4_TIMING",
+    "HBM2_TIMING",
+    "Segment",
+    "SegmentTable",
+    "FirstFitAllocator",
+    "BestFitAllocator",
+    "BuddyAllocator",
+    "Extent",
+    "PagedMmu",
+    "PTE_BYTES",
+    "TLB_HIT_CYCLES",
+    "TLB_MISS_CYCLES",
+    "SegmentProtectionUnit",
+    "CheckedAccess",
+    "SPU_CHECK_CYCLES",
+]

@@ -1,0 +1,138 @@
+"""Request/response matching over any reliable byte service.
+
+Microservice traffic (the paper's target workload, Section 1) is RPC-shaped:
+a caller issues a request and correlates the response by id, possibly with
+many requests in flight.  :class:`RpcCaller` and :class:`RpcResponder` are
+transport-agnostic: they work over the Apiary network service, the hosted
+baseline's socket model, or a raw reliable endpoint — which is what lets
+D1/D2 compare the same workload across stacks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.sim import Channel, Engine, Event
+
+__all__ = ["RpcRequest", "RpcResponse", "RpcCaller", "RpcResponder"]
+
+
+@dataclass
+class RpcRequest:
+    rid: int
+    method: str
+    body: Any
+    body_bytes: int = 0
+    reply_to: str = ""
+
+
+@dataclass
+class RpcResponse:
+    rid: int
+    body: Any
+    body_bytes: int = 0
+    is_error: bool = False
+
+
+class RpcCaller:
+    """Issues requests and matches responses by id.
+
+    ``send`` is the injected transmit function ``(request) -> None``; feed
+    responses back through :meth:`deliver_response`.
+    """
+
+    def __init__(self, engine: Engine, send: Callable[[RpcRequest], None],
+                 reply_to: str = "", name: str = "rpc"):
+        self.engine = engine
+        self.send = send
+        self.reply_to = reply_to
+        self.name = name
+        self._rid = itertools.count(1)
+        self._pending: Dict[int, Event] = {}
+        self.requests_sent = 0
+        self.responses_matched = 0
+        self.orphan_responses = 0
+
+    def call(self, method: str, body: Any = None, body_bytes: int = 0) -> Event:
+        """Returns an event that succeeds with the :class:`RpcResponse`."""
+        rid = next(self._rid)
+        done = self.engine.event(f"{self.name}.call#{rid}")
+        self._pending[rid] = done
+        self.requests_sent += 1
+        self.send(RpcRequest(rid=rid, method=method, body=body,
+                             body_bytes=body_bytes, reply_to=self.reply_to))
+        return done
+
+    def deliver_response(self, response: RpcResponse) -> None:
+        done = self._pending.pop(response.rid, None)
+        if done is None:
+            self.orphan_responses += 1
+            return
+        self.responses_matched += 1
+        done.succeed(response)
+
+    def fail_all_pending(self, error: Exception) -> int:
+        """Abort in-flight calls (peer fail-stopped).  Returns count."""
+        pending, self._pending = self._pending, {}
+        for done in pending.values():
+            if not done.triggered:
+                done.fail(error)
+        return len(pending)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+
+class RpcResponder:
+    """Dispatches requests to registered method handlers.
+
+    Handlers are *process generators*: ``handler(request) -> generator``
+    yielding sim commands and returning ``(body, body_bytes)``.  This lets a
+    service model per-request compute/memory time naturally.
+    """
+
+    def __init__(self, engine: Engine,
+                 send: Callable[[str, RpcResponse], None], name: str = "svc"):
+        self.engine = engine
+        self.send = send
+        self.name = name
+        self._handlers: Dict[str, Callable] = {}
+        self.requests_handled = 0
+        self.errors_returned = 0
+
+    def register(self, method: str, handler: Callable) -> None:
+        if method in self._handlers:
+            raise ProtocolError(f"method {method!r} already registered")
+        self._handlers[method] = handler
+
+    def dispatch(self, request: RpcRequest) -> None:
+        """Handle one request; spawns a process so handlers can take time."""
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            self.errors_returned += 1
+            self.send(request.reply_to, RpcResponse(
+                rid=request.rid, body=f"no such method {request.method!r}",
+                is_error=True,
+            ))
+            return
+
+        def run():
+            try:
+                result = yield from handler(request)
+            except Exception as err:
+                self.errors_returned += 1
+                self.send(request.reply_to, RpcResponse(
+                    rid=request.rid, body=str(err), is_error=True,
+                ))
+                return
+            body, body_bytes = result if isinstance(result, tuple) else (result, 0)
+            self.requests_handled += 1
+            self.send(request.reply_to, RpcResponse(
+                rid=request.rid, body=body, body_bytes=body_bytes,
+            ))
+
+        self.engine.process(run(), name=f"{self.name}.{request.method}#{request.rid}")

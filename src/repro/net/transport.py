@@ -1,0 +1,242 @@
+"""Reliable transport over Ethernet frames (go-back-N).
+
+Section 2 lists "reliable network protocols" among the higher-level services
+FPGA developers are forced to build themselves today.  Apiary's network
+service runs this transport so accelerators get in-order, loss-recovering
+message delivery without knowing about sequence numbers or retransmission.
+
+The implementation is a windowed go-back-N with cumulative ACKs — the
+protocol real FPGA network stacks (and Caribou's TCP subset) implement,
+small enough for hardware yet enough to recover from datacenter loss.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.net.frame import EthernetFrame
+from repro.sim import Channel, Engine, Event
+
+__all__ = ["ReliableEndpoint", "Datagram", "TRANSPORT_HEADER_BYTES"]
+
+TRANSPORT_HEADER_BYTES = 16
+
+
+@dataclass
+class Datagram:
+    """What the transport carries: app payload plus protocol fields.
+
+    Large application payloads are segmented into several datagrams:
+    ``frag_rest`` counts the fragments that follow this one (0 = last or
+    unfragmented); only the final fragment carries the payload object, the
+    leading ones carry wire bytes only.
+    """
+
+    kind: str          # "data" | "ack"
+    seq: int
+    payload: Any = None
+    payload_bytes: int = 0
+    frag_rest: int = 0
+
+
+class ReliableEndpoint:
+    """One side of a reliable pairwise connection.
+
+    Parameters
+    ----------
+    send_frame: callable delivering an :class:`EthernetFrame` toward the
+        peer (typically a MAC adapter's tx path).
+    local_mac / peer_mac: addressing for emitted frames.
+    window: go-back-N sender window in datagrams.
+    timeout: retransmission timeout in cycles.
+    mtu: largest frame the underlying fabric accepts; payloads above
+        ``mtu - header`` are segmented into multiple datagrams and
+        reassembled in order at the receiver (go-back-N already gives us
+        ordered, exactly-once fragments).
+
+    Wire ``deliver_frame`` into the local MAC's rx callback.  Received
+    payloads appear, in order and exactly once, on :attr:`inbox`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        send_frame: Callable[[EthernetFrame], None],
+        local_mac: str,
+        peer_mac: str,
+        window: int = 8,
+        timeout: int = 5000,
+        mtu: int = 1518,
+        name: str = "",
+    ):
+        if window < 1:
+            raise ConfigError(f"window must be >= 1, got {window}")
+        if timeout < 1:
+            raise ConfigError(f"timeout must be >= 1, got {timeout}")
+        if mtu <= TRANSPORT_HEADER_BYTES + 64:
+            raise ConfigError(f"mtu {mtu} leaves no room for payload")
+        self.engine = engine
+        self.send_frame = send_frame
+        self.local_mac = local_mac
+        self.peer_mac = peer_mac
+        self.window = window
+        self.timeout = timeout
+        self.max_segment = mtu - TRANSPORT_HEADER_BYTES
+        self.name = name or f"rt.{local_mac}->{peer_mac}"
+
+        # sender state
+        self._next_seq = 0          # next new sequence number
+        self._base = 0              # oldest unacked
+        self._outstanding: Deque[Tuple[Datagram, Event]] = deque()
+        self._send_queue: Channel = Channel(engine, capacity=None,
+                                            name=f"{self.name}.sq")
+        self._timer_generation = 0
+
+        # receiver state
+        self._expected_seq = 0
+        self._frags_pending = 0  # fragments of the current payload seen
+        self.inbox: Channel = Channel(engine, capacity=None,
+                                      name=f"{self.name}.inbox")
+
+        self.datagrams_sent = 0
+        self.fragments_sent = 0
+        self.retransmissions = 0
+        self.acks_sent = 0
+        self.duplicates_dropped = 0
+        engine.process(self._sender(), name=f"{self.name}.send")
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, payload: Any, payload_bytes: int = 0) -> Event:
+        """Queue a payload; the event succeeds when the peer has ACKed it."""
+        acked = self.engine.event(f"{self.name}.acked")
+        self._send_queue.try_put((payload, payload_bytes, acked))
+        return acked
+
+    def _sender(self):
+        while True:
+            payload, payload_bytes, acked = yield self._send_queue.get()
+            segments = self._segment(payload, payload_bytes)
+            for i, (seg_payload, seg_bytes) in enumerate(segments):
+                while self._next_seq - self._base >= self.window:
+                    # window full: wait for ACK progress
+                    self._window_event = self.engine.event(f"{self.name}.win")
+                    yield self._window_event
+                dgram = Datagram(kind="data", seq=self._next_seq,
+                                 payload=seg_payload,
+                                 payload_bytes=seg_bytes,
+                                 frag_rest=len(segments) - 1 - i)
+                self._next_seq += 1
+                # the caller's ack event rides on the *last* fragment
+                fragment_ack = acked if i == len(segments) - 1 \
+                    else self.engine.event(f"{self.name}.frag")
+                self._outstanding.append((dgram, fragment_ack))
+                self._emit(dgram)
+                self.datagrams_sent += 1
+                if len(segments) > 1:
+                    self.fragments_sent += 1
+                if len(self._outstanding) == 1:
+                    self._arm_timer()
+
+    def _segment(self, payload: Any, payload_bytes: int):
+        """Split a payload into MTU-sized (payload, bytes) segments.
+
+        Only the final segment carries the payload object; the leading
+        ones exist to occupy wire bytes (our payloads are opaque objects,
+        so bytes are accounted, not sliced).
+        """
+        if payload_bytes <= self.max_segment:
+            return [(payload, payload_bytes)]
+        segments = []
+        remaining = payload_bytes
+        while remaining > self.max_segment:
+            segments.append((None, self.max_segment))
+            remaining -= self.max_segment
+        segments.append((payload, remaining))
+        return segments
+
+    def _emit(self, dgram: Datagram) -> None:
+        frame = EthernetFrame(
+            src_mac=self.local_mac,
+            dst_mac=self.peer_mac,
+            nbytes=TRANSPORT_HEADER_BYTES + dgram.payload_bytes,
+            payload=dgram,
+        )
+        self.send_frame(frame)
+
+    def _arm_timer(self) -> None:
+        self._timer_generation += 1
+        generation = self._timer_generation
+
+        def fire(_arg) -> None:
+            if generation != self._timer_generation:
+                return  # timer superseded by ACK progress
+            if not self._outstanding:
+                return
+            # go-back-N: retransmit the whole window
+            for dgram, _acked in self._outstanding:
+                self._emit(dgram)
+                self.retransmissions += 1
+            self._arm_timer()
+
+        self.engine.schedule(self.timeout, fire)
+
+    # -- receiving -----------------------------------------------------------
+
+    def deliver_frame(self, frame: EthernetFrame) -> None:
+        """Feed frames from the local MAC's rx path."""
+        dgram = frame.payload
+        if not isinstance(dgram, Datagram):
+            return  # not ours
+        if dgram.kind == "ack":
+            self._handle_ack(dgram.seq)
+        else:
+            self._handle_data(dgram)
+
+    def _handle_data(self, dgram: Datagram) -> None:
+        if dgram.seq == self._expected_seq:
+            self._expected_seq += 1
+            # leading fragments only occupy the wire; the last one (or any
+            # unfragmented datagram) delivers the application payload
+            if dgram.frag_rest == 0:
+                self.inbox.try_put(dgram.payload)
+        elif dgram.seq < self._expected_seq:
+            self.duplicates_dropped += 1
+        # out-of-order future datagrams are dropped (go-back-N receiver)
+        # cumulative ACK for everything below expected
+        ack = Datagram(kind="ack", seq=self._expected_seq)
+        frame = EthernetFrame(
+            src_mac=self.local_mac, dst_mac=self.peer_mac,
+            nbytes=TRANSPORT_HEADER_BYTES, payload=ack,
+        )
+        self.acks_sent += 1
+        self.send_frame(frame)
+
+    def _handle_ack(self, cumulative: int) -> None:
+        progressed = False
+        while self._outstanding and self._outstanding[0][0].seq < cumulative:
+            _dgram, acked = self._outstanding.popleft()
+            self._base += 1
+            if not acked.triggered:
+                acked.succeed(None)
+            progressed = True
+        if progressed:
+            self._timer_generation += 1  # cancel the old timer
+            if self._outstanding:
+                self._arm_timer()
+            window_event = getattr(self, "_window_event", None)
+            if window_event is not None and not window_event.triggered:
+                window_event.succeed(None)
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def unacked(self) -> int:
+        return len(self._outstanding)
+
+    def recv(self) -> Event:
+        """Event yielding the next in-order payload."""
+        return self.inbox.get()

@@ -1,0 +1,118 @@
+"""Packets and flits — the units of NoC transfer.
+
+Apiary messages are carried over the NoC as *packets*; a packet is split
+into fixed-width *flits* (flow-control units).  Wormhole switching forwards
+a packet flit-by-flit: the head flit opens a path through each router and
+the tail flit releases it, so buffers stay small (the property that makes
+hardened NoCs cheap, which the paper leans on).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["FlitKind", "Flit", "Packet", "flits_for_bytes"]
+
+#: Bytes carried by one flit.  128-bit links are typical for hardened NoCs
+#: (Versal's NoC moves 128 bits/cycle per channel).
+DEFAULT_FLIT_BYTES = 16
+
+#: Bytes of packet header carried in the head flit (routing + Apiary header).
+HEADER_BYTES = 16
+
+
+class FlitKind(enum.Enum):
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    #: single-flit packet: head and tail at once
+    HEADTAIL = "headtail"
+
+
+def flits_for_bytes(payload_bytes: int, flit_bytes: int = DEFAULT_FLIT_BYTES) -> int:
+    """Number of flits for a payload, including the header flit."""
+    if payload_bytes < 0:
+        raise ConfigError(f"negative payload size {payload_bytes}")
+    return 1 + math.ceil(payload_bytes / flit_bytes)
+
+
+@dataclass
+class Packet:
+    """One NoC packet.
+
+    Attributes
+    ----------
+    pid: globally unique packet id (assigned by the network).
+    src, dst: node ids in the topology.
+    size_flits: total flits including the head.
+    vc_class: traffic class; mapped to a virtual-channel set by routers.
+      Class 0 is best-effort, higher classes get dedicated VCs (QoS).
+    payload: opaque payload object (the Apiary message rides here).
+    """
+
+    pid: int
+    src: int
+    dst: int
+    size_flits: int
+    vc_class: int = 0
+    payload: Any = None
+    injected_at: int = -1
+    delivered_at: int = -1
+    hops: int = 0
+    #: dateline-routing state (torus only): current VC tier and the
+    #: dimension being traversed; managed by routers, reset per dimension
+    dateline_vc: int = 0
+    dateline_dim: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_flits < 1:
+            raise ConfigError(f"packet needs >= 1 flit, got {self.size_flits}")
+        if self.vc_class < 0:
+            raise ConfigError(f"negative vc_class {self.vc_class}")
+
+    @property
+    def latency(self) -> int:
+        """Injection-to-delivery latency in cycles (-1 while in flight)."""
+        if self.delivered_at < 0 or self.injected_at < 0:
+            return -1
+        return self.delivered_at - self.injected_at
+
+    def make_flits(self) -> "list[Flit]":
+        """Expand the packet into its flit sequence."""
+        if self.size_flits == 1:
+            return [Flit(kind=FlitKind.HEADTAIL, packet=self, seq=0)]
+        flits = [Flit(kind=FlitKind.HEAD, packet=self, seq=0)]
+        for i in range(1, self.size_flits - 1):
+            flits.append(Flit(kind=FlitKind.BODY, packet=self, seq=i))
+        flits.append(Flit(kind=FlitKind.TAIL, packet=self, seq=self.size_flits - 1))
+        return flits
+
+
+@dataclass
+class Flit:
+    """One flow-control unit of a packet."""
+
+    kind: FlitKind
+    packet: Packet
+    seq: int
+    #: virtual channel assigned on the link the flit currently occupies
+    vc: int = 0
+
+    @property
+    def is_head(self) -> bool:
+        return self.kind in (FlitKind.HEAD, FlitKind.HEADTAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self.kind in (FlitKind.TAIL, FlitKind.HEADTAIL)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Flit p{self.packet.pid} {self.kind.value} "
+            f"{self.seq}/{self.packet.size_flits - 1} vc{self.vc}>"
+        )

@@ -1,0 +1,367 @@
+"""The assembled NoC: routers, links, and per-node network interfaces.
+
+:class:`Network` builds one router per topology node, wires neighbouring
+routers with latency links, and exposes a :class:`NetworkInterface` (NI)
+per node.  The NI is what an Apiary tile's monitor talks to: it packetizes
+payloads into flits, injects them with credit flow control, reassembles
+arriving flits into packets, and applies ejection backpressure when the
+receiver is slow — which is exactly the pressure point the flood/QoS
+experiments (D5) exercise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.errors import ConfigError, RouteError
+from repro.noc.flit import DEFAULT_FLIT_BYTES, Flit, Packet, flits_for_bytes
+from repro.noc.router import Router
+from repro.noc.routing import RoutingFunction, XYRouting
+from repro.noc.topology import Mesh2D, Port, Torus2D
+from repro.sim import Channel, Engine, Event, Histogram, StatsRegistry, Tracer
+
+__all__ = ["Network", "NetworkInterface"]
+
+
+class NetworkInterface:
+    """The tile-side endpoint of the NoC.
+
+    Sending::
+
+        yield ni.send(dst=5, payload=msg, payload_bytes=64)   # blocks until
+                                                              # fully injected
+
+    Receiving::
+
+        pkt = yield ni.recv()        # blocks until a packet is reassembled
+    """
+
+    def __init__(self, network: "Network", node: int):
+        self.network = network
+        self.node = node
+        self.engine = network.engine
+        num_vcs = network.num_vcs
+        depth = network.buffer_depth
+        self.name = f"ni{node}"
+
+        # injection side: credits for the router's LOCAL input buffers
+        self._inject_credits = [depth] * num_vcs
+        self._inject_queue: Channel = Channel(
+            self.engine, capacity=network.inject_queue_depth,
+            name=f"{self.name}.inject",
+        )
+        self._credit_event: Optional[Event] = None
+
+        # ejection side: reassembly and delivery
+        self._eject_buffer: Deque[Flit] = deque()
+        self._eject_event: Optional[Event] = None
+        self._partial: Dict[int, int] = {}  # pid -> flits seen
+        self.delivered: Channel = Channel(
+            self.engine, capacity=network.delivery_queue_depth,
+            name=f"{self.name}.delivered",
+        )
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.engine.process(self._injector(), name=f"{self.name}.inj")
+        self.engine.process(self._ejector(), name=f"{self.name}.ej")
+
+    # -- public API --------------------------------------------------------
+
+    def send(
+        self,
+        dst: int,
+        payload: Any = None,
+        payload_bytes: int = 0,
+        vc_class: int = 0,
+    ) -> Event:
+        """Queue a payload for ``dst``; event succeeds with the Packet once
+        the *whole packet* has been injected into the router."""
+        pkt = self.network.make_packet(
+            src=self.node, dst=dst, payload=payload,
+            payload_bytes=payload_bytes, vc_class=vc_class,
+        )
+        return self.send_packet(pkt)
+
+    def send_packet(self, pkt: Packet) -> Event:
+        if pkt.src != self.node:
+            raise RouteError(f"packet src {pkt.src} != NI node {self.node}")
+        done = self.engine.event(f"{self.name}.send#{pkt.pid}")
+        queued = self._inject_queue.put((pkt, done))
+        if queued.failed:  # pragma: no cover - inject queue never closes
+            raise ConfigError("inject queue closed")
+        return done
+
+    def try_send_packet(self, pkt: Packet) -> Optional[Event]:
+        """Non-blocking variant: ``None`` when the injection queue is full."""
+        done = self.engine.event(f"{self.name}.send#{pkt.pid}")
+        if not self._inject_queue.try_put((pkt, done)):
+            return None
+        return done
+
+    def recv(self) -> Event:
+        """Event that succeeds with the next fully reassembled packet."""
+        return self.delivered.get()
+
+    @property
+    def inject_backlog(self) -> int:
+        return len(self._inject_queue)
+
+    # -- router-facing callbacks (wired by Network) --------------------------
+
+    def _local_credit(self, vc: int) -> None:
+        self._inject_credits[vc] += 1
+        if self._credit_event is not None and not self._credit_event.triggered:
+            self._credit_event.succeed(None)
+
+    def _accept_flit(self, flit: Flit) -> None:
+        self._eject_buffer.append(flit)
+        if self._eject_event is not None and not self._eject_event.triggered:
+            self._eject_event.succeed(None)
+
+    # -- processes -----------------------------------------------------------
+
+    def _injector(self):
+        """Drain the injection queue, one packet at a time, flit by flit.
+
+        One flit enters the router per cycle at most (link width), and only
+        when a credit for the chosen LOCAL-input VC is available.
+        """
+        router = self.network.router(self.node)
+        while True:
+            pkt, done = yield self._inject_queue.get()
+            pkt.injected_at = self.engine.now
+            vcs = router.allowed_vcs(pkt.vc_class)
+            for flit in pkt.make_flits():
+                while True:
+                    vc = self._pick_credit_vc(vcs, flit)
+                    if vc is not None:
+                        break
+                    self._credit_event = self.engine.event(f"{self.name}.cred")
+                    yield self._credit_event
+                    self._credit_event = None
+                flit.vc = vc
+                self._inject_credits[vc] -= 1
+                router.accept_flit(Port.LOCAL, flit)
+                yield 1
+            self.packets_sent += 1
+            self.network.stats.counter("noc.packets_injected").inc()
+            done.succeed(pkt)
+
+    def _pick_credit_vc(self, vcs: List[int], flit: Flit) -> Optional[int]:
+        """Choose the injection VC.
+
+        All flits of one packet must use the same VC on the injection link
+        (wormhole); the head picks the allowed VC with the most credits and
+        the rest follow via ``flit.vc`` continuity handled by the caller
+        keeping ``vcs`` fixed — we simply reuse the head's choice stored in
+        the packet id ownership of the router's LOCAL input VC.
+        """
+        if flit.is_head:
+            best, best_credits = None, 0
+            for vc in vcs:
+                if self._inject_credits[vc] > best_credits:
+                    best, best_credits = vc, self._inject_credits[vc]
+            self._current_vc = best
+            return best
+        vc = getattr(self, "_current_vc", None)
+        if vc is not None and self._inject_credits[vc] > 0:
+            return vc
+        return None
+
+    def _ejector(self):
+        """Move flits from the ejection buffer into delivered packets.
+
+        The credit for each consumed flit returns to the router only after
+        the delivery channel accepted the packet — a slow receiver therefore
+        backpressures the NoC instead of dropping traffic.
+        """
+        router = self.network.router(self.node)
+        while True:
+            while not self._eject_buffer:
+                self._eject_event = self.engine.event(f"{self.name}.ej")
+                yield self._eject_event
+                self._eject_event = None
+            flit = self._eject_buffer.popleft()
+            pkt = flit.packet
+            self._partial[pkt.pid] = self._partial.get(pkt.pid, 0) + 1
+            if flit.is_tail:
+                if self._partial.pop(pkt.pid) != pkt.size_flits:
+                    raise ConfigError(
+                        f"{self.name}: reassembled wrong flit count for "
+                        f"packet {pkt.pid}"
+                    )
+                pkt.delivered_at = self.engine.now
+                self.packets_received += 1
+                self.network.record_delivery(pkt)
+                yield self.delivered.put(pkt)
+            # flit consumed: return its LOCAL-output credit to the router
+            router.credit_arrived(Port.LOCAL, flit.vc)
+            yield 1
+
+
+class Network:
+    """A complete NoC instance.
+
+    Parameters mirror the knobs a hardened-NoC datasheet exposes; defaults
+    approximate a Versal-style NoC (128-bit flits, 1-cycle links, small VC
+    buffers).
+
+    Parameters
+    ----------
+    engine: simulation engine.
+    topo: :class:`Mesh2D` or :class:`Torus2D`.
+    routing: routing function (default XY).
+    num_vcs / vc_classes: virtual channels and traffic classes.
+    buffer_depth: flit slots per input VC.
+    hop_latency: cycles from leaving a router to arriving at the next
+        (router pipeline + wire).
+    credit_latency: cycles for a credit to return upstream.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        topo: Mesh2D,
+        routing: Optional[RoutingFunction] = None,
+        num_vcs: int = 2,
+        vc_classes: int = 1,
+        buffer_depth: int = 4,
+        hop_latency: int = 2,
+        credit_latency: int = 1,
+        flit_bytes: int = DEFAULT_FLIT_BYTES,
+        inject_queue_depth: int = 16,
+        delivery_queue_depth: int = 16,
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        from repro.noc.routing import MinimalAdaptiveRouting, TorusXYRouting
+
+        routing = routing or XYRouting()
+        if isinstance(topo, Torus2D) and isinstance(routing, MinimalAdaptiveRouting):
+            raise ConfigError(
+                "adaptive routing on a torus needs dateline VCs; "
+                "use TorusXYRouting (or plain XY/YX) on torus topologies"
+            )
+        if isinstance(routing, TorusXYRouting) and not isinstance(topo, Torus2D):
+            raise ConfigError(
+                "TorusXYRouting picks wraparound links; it only makes "
+                "sense on a Torus2D topology"
+            )
+        if hop_latency < 1:
+            raise ConfigError(f"hop latency must be >= 1, got {hop_latency}")
+        self.engine = engine
+        self.topo = topo
+        self.routing = routing
+        self.num_vcs = num_vcs
+        self.vc_classes = vc_classes
+        self.buffer_depth = buffer_depth
+        self.hop_latency = hop_latency
+        self.credit_latency = credit_latency
+        self.flit_bytes = flit_bytes
+        self.inject_queue_depth = inject_queue_depth
+        self.delivery_queue_depth = delivery_queue_depth
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._next_pid = 0
+
+        self._routers: List[Router] = [
+            Router(
+                engine, node, topo, routing,
+                num_vcs=num_vcs, vc_classes=vc_classes,
+                buffer_depth=buffer_depth, credit_latency=credit_latency,
+            )
+            for node in topo.nodes()
+        ]
+        self._interfaces: List[NetworkInterface] = [
+            NetworkInterface(self, node) for node in topo.nodes()
+        ]
+        self._wire()
+
+    # -- construction --------------------------------------------------------
+
+    def _wire(self) -> None:
+        for src, port, dst in self.topo.links():
+            src_router = self._routers[src]
+            dst_router = self._routers[dst]
+            in_port = port.opposite
+
+            def deliver(flit: Flit, _dst=dst_router, _p=in_port) -> None:
+                self.engine.schedule(
+                    self.hop_latency, lambda _: _dst.accept_flit(_p, flit)
+                )
+
+            def credit(vc: int, _src=src_router, _p=port) -> None:
+                _src.credit_arrived(_p, vc)
+
+            src_router.connect_output(port, deliver, credit)
+            dst_router.connect_input_credit(in_port, credit)
+
+        for node in self.topo.nodes():
+            router = self._routers[node]
+            ni = self._interfaces[node]
+
+            def deliver_local(flit: Flit, _ni=ni) -> None:
+                self.engine.schedule(
+                    self.hop_latency, lambda _: _ni._accept_flit(flit)
+                )
+
+            router.connect_output(Port.LOCAL, deliver_local, lambda vc: None)
+            router.connect_input_credit(Port.LOCAL, ni._local_credit)
+
+    # -- public API -----------------------------------------------------------
+
+    def router(self, node: int) -> Router:
+        return self._routers[node]
+
+    def interface(self, node: int) -> NetworkInterface:
+        return self._interfaces[node]
+
+    def make_packet(
+        self,
+        src: int,
+        dst: int,
+        payload: Any = None,
+        payload_bytes: int = 0,
+        vc_class: int = 0,
+    ) -> Packet:
+        if not 0 <= dst < self.topo.node_count:
+            raise RouteError(f"destination {dst} outside topology")
+        self._next_pid += 1
+        return Packet(
+            pid=self._next_pid,
+            src=src,
+            dst=dst,
+            size_flits=flits_for_bytes(payload_bytes, self.flit_bytes),
+            vc_class=vc_class,
+            payload=payload,
+        )
+
+    def record_delivery(self, pkt: Packet) -> None:
+        self.stats.counter("noc.packets_delivered").inc()
+        self.stats.histogram("noc.packet_latency").record(pkt.latency)
+        self.stats.histogram("noc.packet_hops").record(pkt.hops)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.engine.now, "noc.deliver", f"ni{pkt.dst}",
+                pid=pkt.pid, src=pkt.src, latency=pkt.latency,
+            )
+
+    def total_flits_forwarded(self) -> int:
+        return sum(r.flits_forwarded for r in self._routers)
+
+    def in_flight_packets(self) -> int:
+        injected = self.stats.counter("noc.packets_injected").value
+        delivered = self.stats.counter("noc.packets_delivered").value
+        return injected - delivered
+
+    def zero_load_latency(self, src: int, dst: int, size_flits: int = 1) -> int:
+        """Analytic lower bound: hops * hop_latency + serialization.
+
+        Used by tests to sanity-check measured latencies and by the
+        monitor-overhead experiment as the no-contention baseline.
+        """
+        hops = self.topo.hop_distance(src, dst)
+        # (hops + 1) link traversals, counting the LOCAL ejection hop, plus
+        # one cycle per additional flit of injection serialization.
+        return (hops + 1) * self.hop_latency + (size_flits - 1)

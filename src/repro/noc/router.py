@@ -1,0 +1,383 @@
+"""Input-queued wormhole router with virtual channels and credit flow control.
+
+The router is event-driven: it sleeps until a flit arrives or a credit
+returns, then performs switch-allocation passes once per cycle while work
+remains.  Each pass grants at most one flit per output port and one flit
+per input port (the crossbar constraint).  Head flits perform route
+computation and virtual-channel allocation; tail flits release the output
+VC (wormhole semantics: a packet owns its path until the tail passes).
+
+Deadlock freedom:
+* deterministic XY/YX routing is deadlock-free on a mesh with any VC count;
+* minimal-adaptive routing restricts VC 0 to the XY escape path (Duato);
+* on a torus, a dateline VC flip would be required — the router refuses
+  adaptive routing on a torus rather than silently deadlocking.
+
+Per-hop latency (pipeline + wire) is modelled by the link's delivery delay,
+configured in :class:`repro.noc.network.Network`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.flit import Flit
+from repro.noc.routing import (
+    MinimalAdaptiveRouting,
+    RoutingFunction,
+    TorusXYRouting,
+)
+from repro.noc.topology import Mesh2D, Port
+
+__all__ = ["Router", "InputVC", "OutputPort"]
+
+#: Delivery callback type: (flit) -> None, invoked at the downstream side.
+DeliverFn = Callable[[Flit], None]
+#: Credit-return callback type: (vc) -> None, invoked at the upstream side.
+CreditFn = Callable[[int], None]
+
+
+class InputVC:
+    """State of one (input port, virtual channel) buffer."""
+
+    __slots__ = ("buffer", "out_port", "out_vc", "active_pid")
+
+    def __init__(self, depth: int):
+        self.buffer: Deque[Flit] = deque(maxlen=depth)
+        self.out_port: Optional[Port] = None
+        self.out_vc: Optional[int] = None
+        self.active_pid: Optional[int] = None
+
+    def reset_route(self) -> None:
+        self.out_port = None
+        self.out_vc = None
+        self.active_pid = None
+
+
+class OutputPort:
+    """Per-output-port state: downstream credits, VC ownership, the link."""
+
+    __slots__ = ("credits", "vc_owner", "deliver", "return_credit", "arbiter",
+                 "flits_sent", "busy_cycles")
+
+    def __init__(self, num_vcs: int, buffer_depth: int, slots: int):
+        self.credits = [buffer_depth] * num_vcs
+        self.vc_owner: List[Optional[int]] = [None] * num_vcs
+        self.deliver: Optional[DeliverFn] = None
+        self.return_credit: Optional[CreditFn] = None
+        self.arbiter = RoundRobinArbiter(slots)
+        self.flits_sent = 0
+        self.busy_cycles = 0
+
+
+class Router:
+    """One NoC router tile.
+
+    Wiring (``connect``) is done by :class:`~repro.noc.network.Network`;
+    the router only knows callbacks for delivering flits downstream and
+    returning credits upstream.
+    """
+
+    def __init__(
+        self,
+        engine,
+        node: int,
+        topo: Mesh2D,
+        routing: RoutingFunction,
+        num_vcs: int = 2,
+        vc_classes: int = 1,
+        buffer_depth: int = 4,
+        credit_latency: int = 1,
+        name: str = "",
+    ):
+        if num_vcs < 1:
+            raise ConfigError(f"need >= 1 VC, got {num_vcs}")
+        if vc_classes < 1 or vc_classes > num_vcs:
+            raise ConfigError(
+                f"vc_classes must be in [1, num_vcs]; got {vc_classes} with "
+                f"{num_vcs} VCs"
+            )
+        if buffer_depth < 1:
+            raise ConfigError(f"buffer depth must be >= 1, got {buffer_depth}")
+        self.engine = engine
+        self.node = node
+        self.topo = topo
+        self.routing = routing
+        self.num_vcs = num_vcs
+        self.vc_classes = vc_classes
+        self.buffer_depth = buffer_depth
+        self.credit_latency = credit_latency
+        self.name = name or f"router{node}"
+        self._adaptive = isinstance(routing, MinimalAdaptiveRouting)
+        self._dateline = isinstance(routing, TorusXYRouting)
+        if self._dateline and (num_vcs < 2 or vc_classes != 1):
+            raise ConfigError(
+                "torus dateline routing needs num_vcs >= 2 and a single "
+                "VC class (both VCs belong to the dateline scheme)"
+            )
+
+        self.ports: List[Port] = [Port.LOCAL]
+        for port in (Port.NORTH, Port.EAST, Port.SOUTH, Port.WEST):
+            if topo.neighbor(node, port) is not None:
+                self.ports.append(port)
+
+        slots = len(self.ports) * num_vcs
+        self._in: Dict[Port, List[InputVC]] = {
+            p: [InputVC(buffer_depth) for _ in range(num_vcs)] for p in self.ports
+        }
+        self._out: Dict[Port, OutputPort] = {
+            p: OutputPort(num_vcs, buffer_depth, slots) for p in self.ports
+        }
+        self._credit_return: Dict[Port, Optional[CreditFn]] = {
+            p: None for p in self.ports
+        }
+
+        self._wake = engine.event(f"{self.name}.wake")
+        self._awake = False
+        self.flits_forwarded = 0
+        engine.process(self._run(), name=self.name)
+
+    # -- wiring (called by Network) ---------------------------------------
+
+    def connect_output(self, port: Port, deliver: DeliverFn, credit: CreditFn) -> None:
+        """Attach downstream delivery and upstream-credit callbacks."""
+        out = self._out[port]
+        out.deliver = deliver
+        out.return_credit = credit
+
+    def connect_input_credit(self, port: Port, return_credit: CreditFn) -> None:
+        """Attach the callback that returns a buffer credit to the upstream
+        sender when a flit leaves this router's input buffer on ``port``."""
+        self._credit_return[port] = return_credit
+
+    # -- datapath entry points (called by links / NI) ----------------------
+
+    def accept_flit(self, port: Port, flit: Flit) -> None:
+        """A flit arrives on input ``port`` (its ``vc`` chosen upstream)."""
+        ivc = self._in[port][flit.vc]
+        if len(ivc.buffer) >= self.buffer_depth:
+            raise ConfigError(
+                f"{self.name}: input buffer overflow on {port.name} vc{flit.vc} "
+                "(credit protocol violated)"
+            )
+        ivc.buffer.append(flit)
+        self._wake_up()
+
+    def credit_arrived(self, port: Port, vc: int) -> None:
+        """Downstream freed a buffer slot on our output ``port`` / ``vc``."""
+        out = self._out[port]
+        out.credits[vc] += 1
+        if out.credits[vc] > self.buffer_depth:
+            raise ConfigError(f"{self.name}: credit overflow on {port.name} vc{vc}")
+        self._wake_up()
+
+    def output_vc_released(self, port: Port) -> None:
+        """Downstream NI released an ejection-side VC (wake for retry)."""
+        self._wake_up()
+
+    # -- inspection --------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return sum(
+            len(ivc.buffer) for vcs in self._in.values() for ivc in vcs
+        )
+
+    def allowed_vcs(self, vc_class: int) -> List[int]:
+        """VC indices a traffic class may use (classes partition the VCs)."""
+        cls = min(vc_class, self.vc_classes - 1)
+        return [v for v in range(self.num_vcs) if v % self.vc_classes == cls]
+
+    # -- the router process -------------------------------------------------
+
+    def _run(self):
+        while True:
+            if not self._has_buffered_flits():
+                self._awake = False
+                yield self._wake
+                self._wake = self.engine.event(f"{self.name}.wake")
+                continue
+            moved = self._allocation_pass()
+            if moved:
+                yield 1
+            else:
+                # Everything buffered is blocked on credits/VCs; sleep until
+                # an external event (credit, arrival, release) wakes us.
+                self._awake = False
+                yield self._wake
+                self._wake = self.engine.event(f"{self.name}.wake")
+
+    def _wake_up(self) -> None:
+        if not self._awake:
+            self._awake = True
+            if not self._wake.triggered:
+                self._wake.succeed(None)
+
+    def _has_buffered_flits(self) -> bool:
+        for vcs in self._in.values():
+            for ivc in vcs:
+                if ivc.buffer:
+                    return True
+        return False
+
+    def _allocation_pass(self) -> int:
+        """One switch-allocation cycle; returns the number of flits moved."""
+        moved = 0
+        used_inputs: set = set()
+        for out_port in self.ports:
+            out = self._out[out_port]
+            if out.deliver is None:
+                continue
+            requesters = self._requesters(out_port, used_inputs)
+            request_lines = [False] * (len(self.ports) * self.num_vcs)
+            by_slot: Dict[int, Tuple[Port, int, int]] = {}
+            for in_port, vc, out_vc in requesters:
+                slot = self.ports.index(in_port) * self.num_vcs + vc
+                request_lines[slot] = True
+                by_slot[slot] = (in_port, vc, out_vc)
+            winner = out.arbiter.pick(request_lines)
+            if winner is None:
+                continue
+            in_port, vc, out_vc = by_slot[winner]
+            self._forward(in_port, vc, out_port, out_vc)
+            used_inputs.add(in_port)
+            moved += 1
+        return moved
+
+    def _requesters(
+        self, out_port: Port, used_inputs: set
+    ) -> List[Tuple[Port, int, int]]:
+        """Input VCs that can send a flit to ``out_port`` this cycle.
+
+        Returns ``(in_port, in_vc, out_vc)`` triples.
+        """
+        out = self._out[out_port]
+        found: List[Tuple[Port, int, int]] = []
+        for in_port in self.ports:
+            if in_port in used_inputs:
+                continue
+            for vc, ivc in enumerate(self._in[in_port]):
+                if not ivc.buffer:
+                    continue
+                flit = ivc.buffer[0]
+                if flit.is_head and ivc.out_port is None:
+                    choice = self._route_and_allocate(in_port, vc, flit)
+                    if choice is None:
+                        continue
+                    port_choice, out_vc = choice
+                    if port_choice != out_port:
+                        continue
+                    found.append((in_port, vc, out_vc))
+                else:
+                    if ivc.out_port != out_port or ivc.out_vc is None:
+                        continue
+                    if out.credits[ivc.out_vc] <= 0:
+                        continue
+                    found.append((in_port, vc, ivc.out_vc))
+        return found
+
+    def _route_and_allocate(
+        self, in_port: Port, vc: int, flit: Flit
+    ) -> Optional[Tuple[Port, int]]:
+        """Route computation + VC allocation for a head flit.
+
+        Pure query: no state is mutated until the flit actually wins switch
+        allocation (``_forward`` re-runs this and commits).
+        """
+        pkt = flit.packet
+        if self._adaptive and vc == 0:
+            candidates = self.routing.escape_candidates(  # type: ignore[attr-defined]
+                self.topo, self.node, pkt.dst
+            )
+        else:
+            candidates = self.routing.candidates(self.topo, self.node, pkt.dst)
+        if self._dateline:
+            return self._dateline_choice(pkt, candidates[0])
+        allowed = self.allowed_vcs(pkt.vc_class)
+        best: Optional[Tuple[Port, int]] = None
+        best_credits = -1
+        for port_choice in candidates:
+            out = self._out[port_choice]
+            if out.deliver is None:
+                continue
+            for out_vc in allowed:
+                if self._adaptive and out_vc == 0 and port_choice != candidates[0]:
+                    # escape VC only along the deterministic path
+                    continue
+                if out.vc_owner[out_vc] is not None:
+                    continue
+                if out.credits[out_vc] <= 0:
+                    continue
+                if out.credits[out_vc] > best_credits:
+                    best = (port_choice, out_vc)
+                    best_credits = out.credits[out_vc]
+            if best is not None and not self._adaptive:
+                break  # deterministic routing: first candidate only
+        return best
+
+    def _dateline_choice(self, pkt, out_port: Port) -> Optional[Tuple[Port, int]]:
+        """VC selection under the dateline discipline (torus routing).
+
+        A packet uses VC ``pkt.dateline_vc`` for the current dimension; the
+        tier resets to 0 when the packet turns into a new dimension, and
+        :meth:`_forward` bumps it to 1 when a hop crosses the wrap edge.
+        LOCAL ejection may use either tier (whichever has space first).
+        """
+        out = self._out[out_port]
+        if out.deliver is None:
+            return None
+        if out_port == Port.LOCAL:
+            tiers = [pkt.dateline_vc, 1 - pkt.dateline_vc]
+        else:
+            dim = TorusXYRouting.dimension(out_port)
+            tier = pkt.dateline_vc if dim == pkt.dateline_dim else 0
+            tiers = [tier]
+        for out_vc in tiers:
+            if out.vc_owner[out_vc] is None and out.credits[out_vc] > 0:
+                return out_port, out_vc
+        return None
+
+    def _forward(self, in_port: Port, vc: int, out_port: Port, out_vc: int) -> None:
+        ivc = self._in[in_port][vc]
+        flit = ivc.buffer.popleft()
+        out = self._out[out_port]
+
+        if flit.is_head:
+            ivc.out_port = out_port
+            ivc.out_vc = out_vc
+            ivc.active_pid = flit.packet.pid
+            out.vc_owner[out_vc] = flit.packet.pid
+        flit.vc = out_vc
+        out.credits[out_vc] -= 1
+        out.flits_sent += 1
+        self.flits_forwarded += 1
+        if flit.is_head and out_port != Port.LOCAL:
+            flit.packet.hops += 1
+            if self._dateline:
+                pkt = flit.packet
+                dim = TorusXYRouting.dimension(out_port)
+                if dim != pkt.dateline_dim:
+                    pkt.dateline_dim = dim
+                    pkt.dateline_vc = 0
+                if TorusXYRouting.crosses_wrap(self.topo, self.node, out_port):
+                    pkt.dateline_vc = 1
+
+        if flit.is_tail:
+            out.vc_owner[out_vc] = None
+            ivc.reset_route()
+
+        assert out.deliver is not None
+        out.deliver(flit)
+
+        # A buffer slot on our input just freed: return a credit upstream.
+        credit_fn = self._credit_return[in_port]
+        if credit_fn is not None:
+            self.engine.schedule(self.credit_latency, lambda _: credit_fn(vc))
+
+        # More flits may now be movable next cycle.
+        self._wake_up()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Router {self.node} occ={self.occupancy()}>"

@@ -1,0 +1,159 @@
+"""Routing functions.
+
+A routing function answers: given a packet at ``node`` heading for ``dst``,
+which output port(s) may it take?  Dimension-ordered XY routing is the
+Apiary default — it is deterministic and deadlock-free on a mesh, which is
+why hardened FPGA NoCs use it.  YX and a minimal-adaptive router (with XY
+as the escape path) are provided for the routing ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+from repro.errors import RouteError
+from repro.noc.topology import Mesh2D, Port
+
+__all__ = [
+    "RoutingFunction",
+    "XYRouting",
+    "YXRouting",
+    "MinimalAdaptiveRouting",
+    "TorusXYRouting",
+]
+
+
+class RoutingFunction(Protocol):
+    """Interface every routing policy implements."""
+
+    def candidates(self, topo: Mesh2D, node: int, dst: int) -> List[Port]:
+        """Output ports, most-preferred first.  LOCAL means 'eject here'."""
+        ...
+
+
+class XYRouting:
+    """Dimension-ordered: correct X first, then Y.  Deadlock-free on meshes."""
+
+    name = "xy"
+
+    def candidates(self, topo: Mesh2D, node: int, dst: int) -> List[Port]:
+        if node == dst:
+            return [Port.LOCAL]
+        x, y = topo.coords(node)
+        dx, dy = topo.coords(dst)
+        if x < dx:
+            return [Port.EAST]
+        if x > dx:
+            return [Port.WEST]
+        if y < dy:
+            return [Port.SOUTH]
+        return [Port.NORTH]
+
+
+class YXRouting:
+    """Dimension-ordered: correct Y first, then X."""
+
+    name = "yx"
+
+    def candidates(self, topo: Mesh2D, node: int, dst: int) -> List[Port]:
+        if node == dst:
+            return [Port.LOCAL]
+        x, y = topo.coords(node)
+        dx, dy = topo.coords(dst)
+        if y < dy:
+            return [Port.SOUTH]
+        if y > dy:
+            return [Port.NORTH]
+        if x < dx:
+            return [Port.EAST]
+        return [Port.WEST]
+
+
+class TorusXYRouting:
+    """Dimension-ordered shortest-direction routing for tori.
+
+    Takes the wraparound link whenever it shortens the path (ties go to the
+    positive direction).  Wrap links close each ring into a cycle, so this
+    is only deadlock-free with *dateline* virtual channels: a packet starts
+    each dimension on VC 0 and switches to VC 1 after crossing that
+    dimension's wrap edge — breaking the ring's cyclic channel dependency
+    (Dally & Seitz).  The router enforces the VC discipline; this class
+    only picks directions and answers wrap/dimension queries.
+
+    Requires ``num_vcs >= 2`` with a single VC class (both VCs belong to
+    the dateline scheme).
+    """
+
+    name = "torus-xy"
+    needs_dateline_vcs = True
+
+    def candidates(self, topo: Mesh2D, node: int, dst: int) -> List[Port]:
+        if node == dst:
+            return [Port.LOCAL]
+        x, y = topo.coords(node)
+        dx, dy = topo.coords(dst)
+        if x != dx:
+            return [self._direction(x, dx, topo.width, Port.EAST, Port.WEST)]
+        return [self._direction(y, dy, topo.height, Port.SOUTH, Port.NORTH)]
+
+    @staticmethod
+    def _direction(here: int, there: int, extent: int,
+                   positive: Port, negative: Port) -> Port:
+        forward = (there - here) % extent
+        backward = (here - there) % extent
+        return positive if forward <= backward else negative
+
+    @staticmethod
+    def crosses_wrap(topo: Mesh2D, node: int, port: Port) -> bool:
+        """Does the hop from ``node`` through ``port`` use a wrap link?"""
+        x, y = topo.coords(node)
+        if port == Port.EAST:
+            return x == topo.width - 1
+        if port == Port.WEST:
+            return x == 0
+        if port == Port.SOUTH:
+            return y == topo.height - 1
+        if port == Port.NORTH:
+            return y == 0
+        return False
+
+    @staticmethod
+    def dimension(port: Port) -> str:
+        return "x" if port in (Port.EAST, Port.WEST) else "y"
+
+
+class MinimalAdaptiveRouting:
+    """Minimal adaptive routing: any productive direction is a candidate.
+
+    Candidates are returned with the X move first (so a congested router can
+    fall back to the Y move and vice versa).  Deadlock freedom comes from
+    the router restricting VC 0 to the XY-ordered candidate only (escape
+    VC, per Duato's protocol); adaptive choices use VCs >= 1.
+    """
+
+    name = "adaptive"
+
+    def __init__(self) -> None:
+        self._escape = XYRouting()
+
+    def candidates(self, topo: Mesh2D, node: int, dst: int) -> List[Port]:
+        if node == dst:
+            return [Port.LOCAL]
+        x, y = topo.coords(node)
+        dx, dy = topo.coords(dst)
+        ports: List[Port] = []
+        if x < dx:
+            ports.append(Port.EAST)
+        elif x > dx:
+            ports.append(Port.WEST)
+        if y < dy:
+            ports.append(Port.SOUTH)
+        elif y > dy:
+            ports.append(Port.NORTH)
+        if not ports:
+            raise RouteError(f"no productive port from {node} to {dst}")
+        return ports
+
+    def escape_candidates(self, topo: Mesh2D, node: int, dst: int) -> List[Port]:
+        """The deadlock-free escape path (used for VC 0)."""
+        return self._escape.candidates(topo, node, dst)

@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction runs on this substrate: an integer-cycle
+:class:`Engine`, generator-coroutine :class:`Process` objects, bounded
+:class:`Channel` FIFOs with backpressure, counted :class:`Resource`
+semaphores, deterministic :class:`RngPool` streams, :class:`Tracer`
+observation, and the measurement primitives in :mod:`repro.sim.stats`.
+"""
+
+from repro.sim.channel import Channel, ChannelClosed
+from repro.sim.engine import Engine, Event, Interrupt, Process
+from repro.sim.resource import Grant, Resource
+from repro.sim.rng import RngPool
+from repro.sim.stats import Counter, Gauge, Histogram, StatsRegistry, TimeWeighted
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "Interrupt",
+    "Channel",
+    "ChannelClosed",
+    "Resource",
+    "Grant",
+    "RngPool",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeWeighted",
+    "StatsRegistry",
+    "Tracer",
+    "TraceRecord",
+]

@@ -1,0 +1,391 @@
+"""Cycle-driven discrete-event simulation engine.
+
+The engine is the clock of the whole reproduction: NoC routers, Apiary
+monitors, DRAM channels and accelerators are all coroutine *processes*
+scheduled on one integer cycle counter.  The design is deliberately small —
+a binary heap of ``(time, sequence, callback)`` entries — because everything
+else (channels, processes, resources) is built from the two primitives
+defined here: scheduled callbacks and one-shot :class:`Event` objects.
+
+Example
+-------
+>>> from repro.sim import Engine
+>>> eng = Engine()
+>>> def blinker(env):
+...     for _ in range(3):
+...         yield 10
+>>> p = eng.process(blinker(eng))
+>>> eng.run()
+>>> eng.now
+30
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["Engine", "Event", "Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process generator when it is interrupted.
+
+    The Apiary monitor uses this to model preemption: an accelerator context
+    blocked mid-computation receives an :class:`Interrupt` and must
+    externalize its state (Section 4.4 of the paper).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` or :meth:`fail` triggers it
+    exactly once, resuming every waiting process on the same cycle the
+    trigger happens (callbacks run via the engine queue with zero delay, so
+    ordering stays deterministic).
+    """
+
+    __slots__ = ("engine", "_callbacks", "_triggered", "_value", "_is_error", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._is_error = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} read before trigger")
+        return self._value
+
+    @property
+    def failed(self) -> bool:
+        return self._triggered and self._is_error
+
+    def succeed(self, value: Any = None) -> "Event":
+        return self._trigger(value, is_error=False)
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise SimulationError("Event.fail expects an exception instance")
+        return self._trigger(exc, is_error=True)
+
+    def _trigger(self, value: Any, is_error: bool) -> "Event":
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._is_error = is_error
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.engine.schedule(0, cb, self)
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self._triggered:
+            self.engine.schedule(0, cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Process:
+    """A generator coroutine driven by the engine.
+
+    The generator may yield:
+
+    * ``int`` — wait that many cycles (0 allowed: yield to same-cycle peers),
+    * :class:`Event` — wait for the event; ``yield`` evaluates to its value
+      (a failed event re-raises its exception inside the generator),
+    * :class:`Process` — join: wait for the child to finish, receiving its
+      return value,
+    * ``None`` — equivalent to ``yield 0``.
+
+    A process is itself an :class:`Event` source: :attr:`done` triggers with
+    the generator's return value (or failure) when it exits.
+    """
+
+    __slots__ = ("engine", "generator", "name", "done", "_alive", "_waiting_on")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Engine.process needs a generator, got {type(generator).__name__}"
+            )
+        self.engine = engine
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "proc")
+        self.done = Event(engine, name=f"{self.name}.done")
+        self._alive = True
+        self._waiting_on: Optional[Event] = None
+        engine.schedule(0, self._resume, None)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current cycle.
+
+        Interrupting a dead process is a no-op (the race is benign and
+        common: a watchdog fires just as the victim finishes).
+        """
+        if not self._alive:
+            return
+        self.engine.schedule(0, self._throw, Interrupt(cause))
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self._alive:
+            return
+        self._detach_wait()
+        try:
+            command = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except BaseException as err:
+            self._finish(None, err)
+            return
+        self._dispatch(command)
+
+    def _resume(self, event: Optional[Event]) -> None:
+        if not self._alive:
+            return
+        self._waiting_on = None
+        try:
+            if event is None:
+                command = next(self.generator)
+            elif event.failed:
+                command = self.generator.throw(event.value)
+            else:
+                command = self.generator.send(event.value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except BaseException as err:
+            self._finish(None, err)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if command is None:
+            command = 0
+        if isinstance(command, int):
+            if command < 0:
+                self._finish(
+                    None, SimulationError(f"{self.name}: negative delay {command}")
+                )
+                return
+            done = Event(self.engine, name=f"{self.name}.delay")
+            self.engine.schedule(command, done.succeed, None)
+            command = done
+        elif isinstance(command, Process):
+            command = command.done
+        if not isinstance(command, Event):
+            self._finish(
+                None,
+                SimulationError(
+                    f"{self.name} yielded {type(command).__name__}; expected "
+                    "int, Event, Process or None"
+                ),
+            )
+            return
+        self._waiting_on = command
+        command.add_callback(self._resume)
+
+    def _detach_wait(self) -> None:
+        waiting = self._waiting_on
+        self._waiting_on = None
+        if waiting is not None and not waiting.triggered:
+            try:
+                waiting._callbacks.remove(self._resume)
+            except ValueError:
+                pass
+
+    def _finish(self, value: Any, error: Optional[BaseException]) -> None:
+        self._alive = False
+        self.generator.close()
+        if error is None:
+            self.done.succeed(value)
+        else:
+            if not self.done._callbacks and not self.engine.swallow_orphan_errors:
+                self.engine._crash(error, self.name)
+            self.done.fail(error)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name!r} {state} t={self.engine.now}>"
+
+
+class Engine:
+    """The simulation clock and event queue.
+
+    Parameters
+    ----------
+    swallow_orphan_errors:
+        When ``False`` (default) an exception escaping a process nobody is
+        joined on aborts :meth:`run` — silent failures hide model bugs.
+        Fault-injection experiments set this to ``True`` and observe faults
+        through the Apiary fault-handling path instead.
+    """
+
+    def __init__(self, swallow_orphan_errors: bool = False):
+        self.now = 0
+        self.swallow_orphan_errors = swallow_orphan_errors
+        self._queue: List[Tuple[int, int, Callable, Any]] = []
+        self._seq = 0
+        self._crashed: Optional[BaseException] = None
+        self._crash_source = ""
+        self._running = False
+        self.process_count = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable, arg: Any = None) -> None:
+        """Run ``callback(arg)`` after ``delay`` cycles (0 = this cycle)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback, arg))
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        self.process_count += 1
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: int, value: Any = None) -> Event:
+        """An event that succeeds ``delay`` cycles from now."""
+        done = Event(self, name=f"timeout@{self.now + delay}")
+        self.schedule(delay, done.succeed, value)
+        return done
+
+    def any_of(self, events: List[Event]) -> Event:
+        """An event that succeeds when the *first* of ``events`` triggers.
+
+        The value is the ``(index, value)`` pair of the winner.  A failed
+        constituent fails the combined event.
+        """
+        if not events:
+            raise SimulationError("any_of needs at least one event")
+        combined = Event(self, name="any_of")
+
+        def on_trigger(index: int, ev: Event) -> None:
+            if combined.triggered:
+                return
+            if ev.failed:
+                combined.fail(ev.value)
+            else:
+                combined.succeed((index, ev.value))
+
+        for i, ev in enumerate(events):
+            ev.add_callback(lambda e, i=i: on_trigger(i, e))
+        return combined
+
+    def all_of(self, events: List[Event]) -> Event:
+        """An event that succeeds when *all* of ``events`` have triggered.
+
+        The value is the list of constituent values in order.  The first
+        failure fails the combined event immediately.
+        """
+        if not events:
+            raise SimulationError("all_of needs at least one event")
+        combined = Event(self, name="all_of")
+        remaining = {"count": len(events)}
+        values: List[Any] = [None] * len(events)
+
+        def on_trigger(index: int, ev: Event) -> None:
+            if combined.triggered:
+                return
+            if ev.failed:
+                combined.fail(ev.value)
+                return
+            values[index] = ev.value
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                combined.succeed(values)
+
+        for i, ev in enumerate(events):
+            ev.add_callback(lambda e, i=i: on_trigger(i, e))
+        return combined
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Drain the event queue, optionally stopping at cycle ``until``.
+
+        With ``until`` given, the clock is advanced to exactly ``until`` even
+        if the queue drains earlier, so back-to-back ``run(until=...)`` calls
+        observe a monotone clock.
+        """
+        if self._running:
+            raise SimulationError("Engine.run re-entered")
+        self._running = True
+        try:
+            while self._queue:
+                time, _seq, callback, arg = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.now = time
+                callback(arg)
+                if self._crashed is not None:
+                    exc = self._crashed
+                    self._crashed = None
+                    raise SimulationError(
+                        f"unhandled error in process {self._crash_source!r} "
+                        f"at cycle {self.now}"
+                    ) from exc
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_until_done(self, event: Event, limit: int = 10_000_000) -> Any:
+        """Run until ``event`` triggers; raise if ``limit`` cycles pass first.
+
+        Convenience for tests: returns the event value, re-raises a failure.
+        """
+        # Register interest so a failure routes to this event instead of
+        # being treated as an orphaned process error.
+        event.add_callback(lambda _e: None)
+        deadline = self.now + limit
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"queue drained at cycle {self.now} before {event!r} triggered"
+                )
+            if self.now > deadline:
+                raise SimulationError(f"event {event!r} not triggered within {limit}")
+            self.run(until=self._queue[0][0])
+        if event.failed:
+            raise event.value
+        return event.value
+
+    def _crash(self, error: BaseException, source: str) -> None:
+        self._crashed = error
+        self._crash_source = source
+
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self.now} queued={len(self._queue)}>"

@@ -1,0 +1,185 @@
+"""Measurement primitives: counters, gauges, latency histograms.
+
+The evaluation harness reads every number it reports from these objects.
+They are deliberately simple — exact sample storage with numpy percentile
+computation — because our experiment scales (thousands to low millions of
+samples) fit comfortably in memory and exactness beats the complexity of
+streaming sketches at this size.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "TimeWeighted", "StatsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (messages sent, faults contained...)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Counter {self.name!r}={self.value}>"
+
+
+class Gauge:
+    """A value that moves both ways, with min/max tracking."""
+
+    def __init__(self, name: str = "", initial: float = 0.0):
+        self.name = name
+        self.value = initial
+        self.min_seen = initial
+        self.max_seen = initial
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.min_seen = min(self.min_seen, value)
+        self.max_seen = max(self.max_seen, value)
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+
+class Histogram:
+    """Exact sample recorder with percentile summaries.
+
+    Used for every latency distribution in the benchmarks (D1/D2 tails).
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+
+    def record_many(self, values: Iterable[float]) -> None:
+        self._samples.extend(values)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return math.nan
+        return float(np.mean(self._samples))
+
+    def std(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        return float(np.std(self._samples, ddof=1))
+
+    def min(self) -> float:
+        return float(np.min(self._samples)) if self._samples else math.nan
+
+    def max(self) -> float:
+        return float(np.max(self._samples)) if self._samples else math.nan
+
+    def percentile(self, p: float) -> float:
+        if not self._samples:
+            return math.nan
+        return float(np.percentile(self._samples, p))
+
+    def summary(self) -> Dict[str, float]:
+        """The row shape used across EXPERIMENTS.md latency tables."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+            "max": self.max(),
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        self._samples.extend(other._samples)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+class TimeWeighted:
+    """Time-weighted average of a stepwise signal (queue depth, utilization).
+
+    Call :meth:`update` whenever the signal changes; the average weights each
+    value by how long it was held.
+    """
+
+    def __init__(self, name: str = "", initial: float = 0.0, start_time: int = 0):
+        self.name = name
+        self._value = initial
+        self._last_time = start_time
+        self._weighted_sum = 0.0
+        self._start_time = start_time
+
+    def update(self, now: int, value: float) -> None:
+        if now < self._last_time:
+            raise ValueError(f"time went backwards in {self.name!r}")
+        self._weighted_sum += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+
+    def average(self, now: int) -> float:
+        total = (
+            self._weighted_sum + self._value * (now - self._last_time)
+        )
+        elapsed = now - self._start_time
+        if elapsed <= 0:
+            return self._value
+        return total / elapsed
+
+
+class StatsRegistry:
+    """A named bag of stats objects, one per component instance.
+
+    Components create their stats through the registry so the harness can
+    dump everything at the end of a run without plumbing references around.
+    """
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str, initial: float = 0.0) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name, initial)
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Flatten every stat into plain floats for reporting/JSON."""
+        out: Dict[str, Dict[str, float]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, counter in self.counters.items():
+            out["counters"][name] = float(counter.value)
+        for name, gauge in self.gauges.items():
+            out["gauges"][name] = float(gauge.value)
+        for name, histogram in self.histograms.items():
+            out["histograms"][name] = histogram.summary()  # type: ignore[assignment]
+        return out

@@ -1,0 +1,114 @@
+"""Event tracing — the paper's "debugging and tracing support at the
+message passing layer" (Design Goals, Programmability).
+
+Apiary argues that because every inter-accelerator interaction crosses the
+monitor/NoC boundary, the OS can observe and log all of it.  :class:`Tracer`
+is that observation point: monitors, routers and services emit typed records
+into it, and tests/experiments query them afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time: cycle at which the event happened.
+    category: dotted namespace, e.g. ``"monitor.deny"`` or ``"noc.inject"``.
+    source: component name that emitted the record.
+    detail: free-form payload fields.
+    """
+
+    time: int
+    category: str
+    source: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, with category filtering.
+
+    Tracing whole NoC runs can produce millions of records, so the tracer is
+    disabled by default and records nothing until :meth:`enable` is called
+    (optionally restricted to category prefixes).
+    """
+
+    def __init__(self):
+        self._records: List[TraceRecord] = []
+        self._enabled = False
+        self._prefixes: Optional[Tuple[str, ...]] = None
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self, prefixes: Optional[List[str]] = None) -> None:
+        """Start recording; ``prefixes`` limits to matching categories."""
+        self._enabled = True
+        self._prefixes = tuple(prefixes) if prefixes else None
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Also deliver records to ``sink`` (live watchdogs in tests)."""
+        self._sinks.append(sink)
+
+    def emit(self, time: int, category: str, source: str, **detail: Any) -> None:
+        if not self._enabled:
+            return
+        if self._prefixes is not None and not category.startswith(self._prefixes):
+            return
+        record = TraceRecord(time=time, category=category, source=source, detail=detail)
+        self._records.append(record)
+        for sink in self._sinks:
+            sink(record)
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        since: int = 0,
+    ) -> List[TraceRecord]:
+        """Records filtered by category prefix, source, and start time."""
+        out = []
+        for rec in self._records:
+            if rec.time < since:
+                continue
+            if category is not None and not rec.category.startswith(category):
+                continue
+            if source is not None and rec.source != source:
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, category: str) -> int:
+        return sum(1 for r in self._records if r.category.startswith(category))
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def format(self, category: Optional[str] = None, limit: int = 50) -> str:
+        """Human-readable dump for debugging failed tests."""
+        lines = []
+        for rec in self.records(category=category)[:limit]:
+            detail = " ".join(f"{k}={v}" for k, v in rec.detail.items())
+            lines.append(f"[{rec.time:>8}] {rec.category:<24} {rec.source:<20} {detail}")
+        return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Workload generation: arrival processes, distributions, remote clients."""
+
+from repro.workloads.client import RemoteClientHost
+from repro.workloads.generators import (
+    bimodal_sizes,
+    bursty_gaps,
+    constant_gaps,
+    poisson_gaps,
+    uniform_sizes,
+    video_chunks,
+    zipf_keys,
+)
+
+__all__ = [
+    "RemoteClientHost",
+    "constant_gaps",
+    "poisson_gaps",
+    "bursty_gaps",
+    "zipf_keys",
+    "uniform_sizes",
+    "bimodal_sizes",
+    "video_chunks",
+]

@@ -1,0 +1,134 @@
+"""A remote client host on the datacenter fabric.
+
+Models the *caller* side of a microservice RPC: a host somewhere in the
+datacenter issuing requests to an accelerated service, over the same
+reliable transport every system under test uses.  Collects per-request
+latency into a histogram — the raw material of D1/D2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.net.frame import EthernetFabric
+from repro.net.transport import ReliableEndpoint
+from repro.sim import Channel, Engine, Event, Histogram
+
+__all__ = ["RemoteClientHost"]
+
+
+class RemoteClientHost:
+    """A fabric endpoint that issues port-addressed requests.
+
+    The request payload format matches what the Apiary network service and
+    the baseline systems deliver: ``{"port", "data", "src_mac"}`` with an
+    application-level ``("req", rid, body)`` / ``("resp", rid, body)``
+    convention handled here.
+    """
+
+    def __init__(self, engine: Engine, fabric: EthernetFabric, mac: str,
+                 window: int = 16, transport_timeout: int = 50_000):
+        self.engine = engine
+        self.fabric = fabric
+        self.mac = mac
+        self.window = window
+        self.transport_timeout = transport_timeout
+        self._peers: Dict[str, ReliableEndpoint] = {}
+        self._rid = itertools.count(1)
+        self._pending: Dict[int, Event] = {}
+        self.latency = Histogram(f"{mac}.latency")
+        self.requests_sent = 0
+        self.responses_received = 0
+        self.timeouts = 0
+        fabric.attach(mac, self._rx_frame)
+
+    def _peer(self, peer_mac: str) -> ReliableEndpoint:
+        if peer_mac not in self._peers:
+            endpoint = ReliableEndpoint(
+                self.engine, self.fabric.transmit, self.mac, peer_mac,
+                window=self.window, timeout=self.transport_timeout,
+                name=f"client.{self.mac}->{peer_mac}",
+            )
+            self._peers[peer_mac] = endpoint
+            self.engine.process(self._rx_pump(endpoint),
+                                name=f"{self.mac}.pump.{peer_mac}")
+        return self._peers[peer_mac]
+
+    def _rx_frame(self, frame) -> None:
+        endpoint = self._peer(frame.src_mac)
+        endpoint.deliver_frame(frame)
+
+    def _rx_pump(self, endpoint: ReliableEndpoint):
+        while True:
+            payload = yield endpoint.recv()
+            data = payload.get("data")
+            if not (isinstance(data, tuple) and len(data) == 3
+                    and data[0] == "resp"):
+                continue
+            _tag, rid, body = data
+            waiter = self._pending.pop(rid, None)
+            if waiter is not None and not waiter.triggered:
+                self.responses_received += 1
+                waiter.succeed(body)
+
+    def request(self, peer_mac: str, port: int, body: Any,
+                nbytes: int = 64, timeout: Optional[int] = None) -> Event:
+        """Issue one request; event succeeds with the response body."""
+        rid = next(self._rid)
+        done = self.engine.event(f"{self.mac}.req#{rid}")
+        self._pending[rid] = done
+        self.requests_sent += 1
+        endpoint = self._peer(peer_mac)
+        endpoint.send({"port": port, "data": ("req", rid, body),
+                       "src_mac": self.mac}, payload_bytes=nbytes)
+        if timeout is not None:
+            def expire(_ev) -> None:
+                if rid in self._pending:
+                    del self._pending[rid]
+                    self.timeouts += 1
+                    if not done.triggered:
+                        done.fail(ConfigError(f"request {rid} timed out"))
+            self.engine.timeout(timeout).add_callback(expire)
+        return done
+
+    def closed_loop(self, peer_mac: str, port: int, bodies: List[Any],
+                    nbytes: int = 64, gaps: Optional[List[int]] = None,
+                    timeout: Optional[int] = None):
+        """Process generator: one request at a time, recording latencies."""
+        for i, body in enumerate(bodies):
+            if gaps is not None:
+                yield gaps[i % len(gaps)]
+            start = self.engine.now
+            try:
+                yield self.request(peer_mac, port, body, nbytes=nbytes,
+                                   timeout=timeout)
+            except ConfigError:
+                continue  # timeout recorded; latency not
+            self.latency.record(self.engine.now - start)
+
+    def open_loop(self, peer_mac: str, port: int, bodies: List[Any],
+                  gaps: List[int], nbytes: int = 64,
+                  timeout: Optional[int] = None):
+        """Process generator: fire per schedule regardless of completions."""
+        outstanding: List[Event] = []
+        for i, body in enumerate(bodies):
+            yield gaps[i % len(gaps)]
+            start = self.engine.now
+            done = self.request(peer_mac, port, body, nbytes=nbytes,
+                                timeout=timeout)
+
+            def record(ev: Event, t0=start) -> None:
+                if not ev.failed:
+                    self.latency.record(self.engine.now - t0)
+
+            done.add_callback(record)
+            outstanding.append(done)
+        # wait for stragglers (failures resolve via timeout)
+        for done in outstanding:
+            if not done.triggered:
+                try:
+                    yield done
+                except ConfigError:
+                    pass

@@ -1,0 +1,89 @@
+"""Workload generators: arrival processes and key/size distributions.
+
+The evaluation harness drives every system (Apiary, hosted, bare) with the
+same generators so comparisons differ only in the system under test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "poisson_gaps",
+    "constant_gaps",
+    "bursty_gaps",
+    "zipf_keys",
+    "uniform_sizes",
+    "bimodal_sizes",
+    "video_chunks",
+]
+
+
+def constant_gaps(rate_per_kcycle: float, count: int) -> List[int]:
+    """Deterministic arrivals: one request every ``1000/rate`` cycles."""
+    if rate_per_kcycle <= 0:
+        raise ConfigError("rate must be positive")
+    gap = max(1, int(1000 / rate_per_kcycle))
+    return [gap] * count
+
+
+def poisson_gaps(rng: np.random.Generator, rate_per_kcycle: float,
+                 count: int) -> List[int]:
+    """Exponential inter-arrival gaps for an open-loop Poisson process."""
+    if rate_per_kcycle <= 0:
+        raise ConfigError("rate must be positive")
+    mean_gap = 1000.0 / rate_per_kcycle
+    gaps = rng.exponential(mean_gap, size=count)
+    return [max(1, int(g)) for g in gaps]
+
+
+def bursty_gaps(rng: np.random.Generator, rate_per_kcycle: float, count: int,
+                burst_len: int = 8, burst_gap: int = 1) -> List[int]:
+    """On/off bursts: ``burst_len`` back-to-back requests, then a long gap
+    chosen to keep the long-run rate at ``rate_per_kcycle``."""
+    if burst_len < 1:
+        raise ConfigError("burst length must be >= 1")
+    mean_gap = 1000.0 / rate_per_kcycle
+    off_gap = max(1, int(mean_gap * burst_len - burst_gap * (burst_len - 1)))
+    gaps: List[int] = []
+    while len(gaps) < count:
+        gaps.extend([burst_gap] * (burst_len - 1))
+        gaps.append(off_gap)
+    return gaps[:count]
+
+
+def zipf_keys(rng: np.random.Generator, count: int, universe: int = 10_000,
+              skew: float = 1.1) -> List[int]:
+    """Zipf-distributed keys (KV workloads are heavily skewed)."""
+    if skew <= 1.0:
+        raise ConfigError("numpy zipf needs skew > 1.0")
+    keys = rng.zipf(skew, size=count)
+    return [int(k % universe) for k in keys]
+
+
+def uniform_sizes(rng: np.random.Generator, count: int, low: int = 64,
+                  high: int = 1024) -> List[int]:
+    return [int(s) for s in rng.integers(low, high + 1, size=count)]
+
+
+def bimodal_sizes(rng: np.random.Generator, count: int, small: int = 64,
+                  large: int = 4096, large_fraction: float = 0.1) -> List[int]:
+    """The classic datacenter mix: mostly small, occasionally large."""
+    picks = rng.random(count) < large_fraction
+    return [large if p else small for p in picks]
+
+
+def video_chunks(rng: np.random.Generator, count: int,
+                 frames_per_chunk: int = 30,
+                 mean_chunk_bytes: int = 500_000) -> List[dict]:
+    """Video chunks with log-normally distributed sizes (content-dependent)."""
+    sizes = rng.lognormal(mean=np.log(mean_chunk_bytes), sigma=0.4, size=count)
+    return [
+        {"seq": i, "frames": frames_per_chunk,
+         "bytes": max(10_000, int(sizes[i]))}
+        for i in range(count)
+    ]

@@ -1,0 +1,277 @@
+"""Unit tests for the FPGA hardware model: devices, resources, DRC, regions."""
+
+import pytest
+
+from repro.errors import (
+    BitstreamRejected,
+    ConfigError,
+    ReconfigError,
+    ResourceExhausted,
+)
+from repro.hw import (
+    Bitstream,
+    ClockDomain,
+    DesignRuleChecker,
+    FABRIC_CLOCK,
+    ReconfigRegion,
+    ResourceBudget,
+    ResourceVector,
+    board,
+    monitor_cost,
+    noc_overhead,
+    part,
+    router_cost,
+    table1_rows,
+    table1_scaling,
+)
+from repro.sim import Engine
+
+
+class TestDeviceDatabase:
+    def test_table1_has_exactly_four_rows(self):
+        assert len(table1_rows()) == 4
+
+    def test_table1_values_match_paper(self):
+        rows = {name: cells for _fam, _yr, name, cells in table1_rows()}
+        assert rows == {
+            "XC7V585T": 582_720,
+            "XC7VH870T": 876_160,
+            "VU3P": 862_000,
+            "VU29P": 3_780_000,
+        }
+
+    def test_table1_families_and_years(self):
+        rows = table1_rows()
+        assert rows[0][:2] == ("Virtex 7", 2010)
+        assert rows[3][:2] == ("Virtex Ultrascale+", 2018)
+
+    def test_scaling_ratios_match_paper_claims(self):
+        # "increased by about 50%" and "scaled up by 3x"
+        ratios = table1_scaling()
+        assert 1.4 <= ratios["smallest_ratio"] <= 1.6
+        assert 3.0 <= ratios["largest_ratio"] <= 4.5
+
+    def test_unknown_part_rejected(self):
+        with pytest.raises(ConfigError):
+            part("XC_NOT_A_PART")
+
+    def test_board_lookup_and_part_link(self):
+        b = board("Alveo-U55C-like")
+        assert b.part.name == "VU29P"
+        assert 100 in b.ethernet_gbps
+
+    def test_modern_board_has_more_io_kinds(self):
+        old = board("VC707")
+        new = board("Alveo-V80-like")
+        assert not old.has_cxl and not old.has_nvme
+        assert new.has_cxl and new.has_nvme
+        assert max(new.ethernet_gbps) > max(old.ethernet_gbps)
+
+
+class TestResources:
+    def test_vector_arithmetic(self):
+        a = ResourceVector(100, 10, 1)
+        b = ResourceVector(50, 5, 1)
+        assert (a + b).logic_cells == 150
+        assert (a - b).bram_kb == 5
+        assert a.scale(3).dsp_slices == 3
+
+    def test_fits_in(self):
+        small = ResourceVector(10, 1, 0)
+        big = ResourceVector(100, 10, 5)
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+
+    def test_budget_allocate_release(self):
+        budget = ResourceBudget(part("VU3P"))
+        budget.allocate("apiary.router0", ResourceVector(2000))
+        assert budget.used.logic_cells == 2000
+        budget.release("apiary.router0")
+        assert budget.used.logic_cells == 0
+
+    def test_budget_rejects_overcommit(self):
+        budget = ResourceBudget(part("XC7V585T"))
+        with pytest.raises(ResourceExhausted):
+            budget.allocate("huge", ResourceVector(10**9))
+
+    def test_budget_rejects_duplicate_owner(self):
+        budget = ResourceBudget(part("VU3P"))
+        budget.allocate("x", ResourceVector(1))
+        with pytest.raises(ConfigError):
+            budget.allocate("x", ResourceVector(1))
+
+    def test_share_of_device_by_prefix(self):
+        budget = ResourceBudget(part("VU3P"))
+        budget.allocate("apiary.mon0", ResourceVector(8620))
+        budget.allocate("user.accel0", ResourceVector(100_000))
+        assert budget.share_of_device("apiary.") == pytest.approx(8620 / 862_000)
+
+    def test_monitor_cost_grows_with_cap_table(self):
+        small = monitor_cost(cap_table_size=16)
+        big = monitor_cost(cap_table_size=256)
+        assert big.logic_cells > small.logic_cells
+        assert big.bram_kb >= small.bram_kb
+
+    def test_hardened_noc_router_is_nearly_free(self):
+        soft = router_cost(hardened=False)
+        hard = router_cost(hardened=True)
+        assert hard.logic_cells < soft.logic_cells / 10
+
+    def test_noc_overhead_fraction_scales_linearly_in_tiles(self):
+        p = part("VU29P")
+        o4 = noc_overhead(p, tiles=4)
+        o16 = noc_overhead(p, tiles=16)
+        assert o16["overhead_fraction"] == pytest.approx(
+            4 * o4["overhead_fraction"]
+        )
+
+    def test_overhead_modest_on_large_part(self):
+        # The paper's scalability hope: on a VU29P, a 16-tile Apiary should
+        # cost a small fraction of the device.
+        o = noc_overhead(part("VU29P"), tiles=16)
+        assert o["overhead_fraction"] < 0.10
+
+
+class TestBitstreamDrc:
+    def clean(self, **kwargs):
+        return Bitstream.build(
+            "encoder", ResourceVector(50_000, 100, 10),
+            primitives={"lut_logic": 40_000, "bram": 64, "dsp": 10}, **kwargs
+        )
+
+    def test_clean_bitstream_passes(self):
+        drc = DesignRuleChecker()
+        drc.check(self.clean())
+        assert drc.rejected == 0
+
+    def test_ring_oscillator_rejected(self):
+        evil = Bitstream.build(
+            "powervirus", ResourceVector(1000),
+            primitives={"ring_oscillator": 500},
+        )
+        drc = DesignRuleChecker()
+        with pytest.raises(BitstreamRejected, match="forbidden-primitive"):
+            drc.check(evil)
+        assert drc.rejected == 1
+
+    def test_tdc_sensor_rejected(self):
+        spy = Bitstream.build(
+            "sidechannel", ResourceVector(1000), primitives={"tdc_sensor": 4}
+        )
+        assert DesignRuleChecker().violations(spy)
+
+    def test_power_budget_enforced(self):
+        hot = Bitstream.build("toggler", ResourceVector(1000), max_toggle_rate=0.95)
+        drc = DesignRuleChecker(power_budget_toggle=0.6)
+        with pytest.raises(BitstreamRejected, match="power-budget"):
+            drc.check(hot)
+
+    def test_signature_policy(self):
+        drc = DesignRuleChecker(require_signature=True, trusted_signers={"vendor"})
+        with pytest.raises(BitstreamRejected, match="unsigned"):
+            drc.check(self.clean())
+        with pytest.raises(BitstreamRejected, match="untrusted-signer"):
+            drc.check(self.clean(signed_by="mallory"))
+        drc.check(self.clean(signed_by="vendor"))
+
+    def test_unknown_primitive_rejected_at_build(self):
+        with pytest.raises(ConfigError):
+            Bitstream.build("x", ResourceVector(1), primitives={"quantum_gate": 1})
+
+    def test_toggle_rate_validation(self):
+        with pytest.raises(ConfigError):
+            Bitstream.build("x", ResourceVector(1), max_toggle_rate=1.5)
+
+
+class TestReconfigRegion:
+    def make(self, capacity_cells=100_000, drc=None):
+        eng = Engine()
+        region = ReconfigRegion(
+            eng, ResourceVector(capacity_cells, 1000, 100), drc=drc
+        )
+        return eng, region
+
+    def bitstream(self, cells=50_000):
+        return Bitstream.build("accel", ResourceVector(cells, 10, 1))
+
+    def test_load_takes_time_proportional_to_size(self):
+        eng, region = self.make()
+        small = self.bitstream(10_000)
+        big = self.bitstream(100_000)
+        assert region.load_duration(big) == 10 * region.load_duration(small)
+
+    def test_load_completes_and_occupies(self):
+        eng, region = self.make()
+        done = region.load(self.bitstream())
+        eng.run_until_done(done)
+        assert region.occupied
+        assert region.loads_completed == 1
+
+    def test_double_load_rejected(self):
+        eng, region = self.make()
+        eng.run_until_done(region.load(self.bitstream()))
+        failed = region.load(self.bitstream())
+        with pytest.raises(ReconfigError):
+            eng.run_until_done(failed)
+
+    def test_oversized_bitstream_rejected(self):
+        eng, region = self.make(capacity_cells=1000)
+        with pytest.raises(ReconfigError):
+            eng.run_until_done(region.load(self.bitstream(50_000)))
+        assert region.loads_rejected == 1
+
+    def test_drc_screen_applied_on_load(self):
+        eng, region = self.make(drc=DesignRuleChecker())
+        evil = Bitstream.build(
+            "virus", ResourceVector(100), primitives={"combinational_loop": 1}
+        )
+        with pytest.raises(BitstreamRejected):
+            eng.run_until_done(region.load(evil))
+        assert not region.occupied
+
+    def test_unload_then_reload(self):
+        eng, region = self.make()
+        eng.run_until_done(region.load(self.bitstream()))
+        eng.run_until_done(region.unload())
+        assert not region.occupied
+        eng.run_until_done(region.load(self.bitstream(20_000)))
+        assert region.occupied
+
+    def test_unload_empty_rejected(self):
+        eng, region = self.make()
+        with pytest.raises(ReconfigError):
+            eng.run_until_done(region.unload())
+
+    def test_load_while_reconfiguring_rejected(self):
+        eng, region = self.make()
+        region.load(self.bitstream())  # in flight
+        failed = region.load(self.bitstream())
+        assert failed.failed
+
+
+class TestClockDomain:
+    def test_fabric_default(self):
+        assert FABRIC_CLOCK.mhz == 250.0
+        assert FABRIC_CLOCK.ns_per_cycle == pytest.approx(4.0)
+
+    def test_cycle_time_roundtrip(self):
+        clk = ClockDomain("x", 100.0)
+        assert clk.cycles_to_ns(10) == pytest.approx(100.0)
+        assert clk.ns_to_cycles(95.0) == 10  # rounds up
+
+    def test_line_rate_serialization(self):
+        # 100 Gb/s at 250 MHz = 50 bytes/cycle
+        assert FABRIC_CLOCK.bytes_per_cycle(100) == pytest.approx(50.0)
+        assert FABRIC_CLOCK.cycles_for_bytes(1500, 100) == 30
+        assert FABRIC_CLOCK.cycles_for_bytes(1500, 10) == 300
+
+    def test_minimum_one_cycle(self):
+        assert FABRIC_CLOCK.cycles_for_bytes(1, 100) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ClockDomain("bad", 0)
+        with pytest.raises(ConfigError):
+            FABRIC_CLOCK.ns_to_cycles(-1)
+        with pytest.raises(ConfigError):
+            FABRIC_CLOCK.bytes_per_cycle(0)

@@ -1,0 +1,276 @@
+"""Unit tests for NoC building blocks: flits, topology, routing, arbiters, QoS."""
+
+import pytest
+
+from repro.errors import ConfigError, RouteError
+from repro.noc import (
+    Flit,
+    FlitKind,
+    Mesh2D,
+    MinimalAdaptiveRouting,
+    Packet,
+    Port,
+    PriorityArbiter,
+    RateMeter,
+    RoundRobinArbiter,
+    TokenBucket,
+    Torus2D,
+    WeightedArbiter,
+    XYRouting,
+    YXRouting,
+    flits_for_bytes,
+)
+
+
+class TestFlits:
+    def test_flits_for_bytes_includes_header(self):
+        assert flits_for_bytes(0) == 1
+        assert flits_for_bytes(1) == 2
+        assert flits_for_bytes(16) == 2
+        assert flits_for_bytes(17) == 3
+        assert flits_for_bytes(64, flit_bytes=32) == 3
+
+    def test_flits_for_bytes_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            flits_for_bytes(-1)
+
+    def test_single_flit_packet_is_headtail(self):
+        pkt = Packet(pid=1, src=0, dst=1, size_flits=1)
+        flits = pkt.make_flits()
+        assert len(flits) == 1
+        assert flits[0].kind == FlitKind.HEADTAIL
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_multi_flit_packet_structure(self):
+        pkt = Packet(pid=1, src=0, dst=1, size_flits=4)
+        flits = pkt.make_flits()
+        kinds = [f.kind for f in flits]
+        assert kinds == [FlitKind.HEAD, FlitKind.BODY, FlitKind.BODY, FlitKind.TAIL]
+        assert [f.seq for f in flits] == [0, 1, 2, 3]
+
+    def test_packet_validation(self):
+        with pytest.raises(ConfigError):
+            Packet(pid=1, src=0, dst=1, size_flits=0)
+        with pytest.raises(ConfigError):
+            Packet(pid=1, src=0, dst=1, size_flits=1, vc_class=-1)
+
+    def test_latency_in_flight_is_minus_one(self):
+        pkt = Packet(pid=1, src=0, dst=1, size_flits=1)
+        assert pkt.latency == -1
+        pkt.injected_at = 10
+        pkt.delivered_at = 35
+        assert pkt.latency == 25
+
+
+class TestMesh2D:
+    def test_coords_roundtrip(self):
+        mesh = Mesh2D(4, 3)
+        for node in mesh.nodes():
+            x, y = mesh.coords(node)
+            assert mesh.node_at(x, y) == node
+
+    def test_node_count(self):
+        assert Mesh2D(5, 7).node_count == 35
+
+    def test_neighbors_interior(self):
+        mesh = Mesh2D(3, 3)
+        center = mesh.node_at(1, 1)
+        assert mesh.neighbor(center, Port.NORTH) == mesh.node_at(1, 0)
+        assert mesh.neighbor(center, Port.SOUTH) == mesh.node_at(1, 2)
+        assert mesh.neighbor(center, Port.EAST) == mesh.node_at(2, 1)
+        assert mesh.neighbor(center, Port.WEST) == mesh.node_at(0, 1)
+
+    def test_edges_have_no_neighbor(self):
+        mesh = Mesh2D(3, 3)
+        assert mesh.neighbor(mesh.node_at(0, 0), Port.NORTH) is None
+        assert mesh.neighbor(mesh.node_at(0, 0), Port.WEST) is None
+        assert mesh.neighbor(mesh.node_at(2, 2), Port.SOUTH) is None
+        assert mesh.neighbor(mesh.node_at(2, 2), Port.EAST) is None
+
+    def test_link_count(self):
+        # 2 * (w*(h-1) + h*(w-1)) directed links
+        mesh = Mesh2D(4, 4)
+        assert len(mesh.links()) == 2 * (4 * 3 + 4 * 3)
+
+    def test_links_are_symmetric(self):
+        mesh = Mesh2D(3, 2)
+        links = set((a, b) for a, _p, b in mesh.links())
+        assert all((b, a) in links for a, b in links)
+
+    def test_hop_distance_is_manhattan(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.hop_distance(0, 15) == 6
+        assert mesh.hop_distance(5, 5) == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            Mesh2D(0, 4)
+
+    def test_out_of_range_node(self):
+        with pytest.raises(RouteError):
+            Mesh2D(2, 2).coords(4)
+
+    def test_port_opposites(self):
+        assert Port.NORTH.opposite == Port.SOUTH
+        assert Port.EAST.opposite == Port.WEST
+        assert Port.LOCAL.opposite == Port.LOCAL
+
+
+class TestTorus2D:
+    def test_wraparound_neighbors(self):
+        torus = Torus2D(3, 3)
+        assert torus.neighbor(torus.node_at(0, 0), Port.WEST) == torus.node_at(2, 0)
+        assert torus.neighbor(torus.node_at(0, 0), Port.NORTH) == torus.node_at(0, 2)
+
+    def test_hop_distance_uses_wrap(self):
+        torus = Torus2D(4, 4)
+        assert torus.hop_distance(torus.node_at(0, 0), torus.node_at(3, 0)) == 1
+        assert torus.hop_distance(torus.node_at(0, 0), torus.node_at(2, 2)) == 4
+
+    def test_every_node_has_four_neighbors(self):
+        torus = Torus2D(3, 3)
+        assert len(torus.links()) == 3 * 3 * 4
+
+
+class TestRouting:
+    def test_xy_goes_x_first(self):
+        mesh = Mesh2D(4, 4)
+        xy = XYRouting()
+        assert xy.candidates(mesh, mesh.node_at(0, 0), mesh.node_at(2, 2)) == [Port.EAST]
+        assert xy.candidates(mesh, mesh.node_at(2, 0), mesh.node_at(2, 2)) == [Port.SOUTH]
+
+    def test_yx_goes_y_first(self):
+        mesh = Mesh2D(4, 4)
+        yx = YXRouting()
+        assert yx.candidates(mesh, mesh.node_at(0, 0), mesh.node_at(2, 2)) == [Port.SOUTH]
+
+    def test_local_at_destination(self):
+        mesh = Mesh2D(4, 4)
+        for routing in (XYRouting(), YXRouting(), MinimalAdaptiveRouting()):
+            assert routing.candidates(mesh, 5, 5) == [Port.LOCAL]
+
+    def test_xy_route_terminates_everywhere(self):
+        mesh = Mesh2D(5, 4)
+        xy = XYRouting()
+        for src in mesh.nodes():
+            for dst in mesh.nodes():
+                node, hops = src, 0
+                while node != dst:
+                    port = xy.candidates(mesh, node, dst)[0]
+                    node = mesh.neighbor(node, port)
+                    hops += 1
+                    assert hops <= mesh.hop_distance(src, dst)
+                assert hops == mesh.hop_distance(src, dst)
+
+    def test_adaptive_offers_both_productive_dims(self):
+        mesh = Mesh2D(4, 4)
+        ad = MinimalAdaptiveRouting()
+        cands = ad.candidates(mesh, mesh.node_at(0, 0), mesh.node_at(2, 2))
+        assert set(cands) == {Port.EAST, Port.SOUTH}
+
+    def test_adaptive_escape_is_xy(self):
+        mesh = Mesh2D(4, 4)
+        ad = MinimalAdaptiveRouting()
+        assert ad.escape_candidates(mesh, mesh.node_at(0, 0), mesh.node_at(2, 2)) == [
+            Port.EAST
+        ]
+
+
+class TestArbiters:
+    def test_round_robin_rotates(self):
+        arb = RoundRobinArbiter(3)
+        grants = [arb.pick([True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_idle(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.pick([False, True, False]) == 1
+        assert arb.pick([True, False, False]) == 0
+
+    def test_round_robin_none_when_idle(self):
+        assert RoundRobinArbiter(4).pick([False] * 4) is None
+
+    def test_round_robin_wrong_width_rejected(self):
+        with pytest.raises(ConfigError):
+            RoundRobinArbiter(2).pick([True])
+
+    def test_priority_always_lowest(self):
+        arb = PriorityArbiter(3)
+        assert arb.pick([False, True, True]) == 1
+        assert arb.pick([False, True, True]) == 1
+
+    def test_weighted_shares_converge_to_weights(self):
+        arb = WeightedArbiter([3.0, 1.0])
+        grants = [arb.pick([True, True]) for _ in range(4000)]
+        share0 = grants.count(0) / len(grants)
+        assert share0 == pytest.approx(0.75, abs=0.01)
+
+    def test_weighted_validation(self):
+        with pytest.raises(ConfigError):
+            WeightedArbiter([])
+        with pytest.raises(ConfigError):
+            WeightedArbiter([1.0, 0.0])
+
+    def test_weighted_idle_slot_keeps_no_advantage(self):
+        # A slot that never requests must not starve others when it returns.
+        arb = WeightedArbiter([1.0, 1.0])
+        for _ in range(100):
+            assert arb.pick([True, False]) == 0
+        grants = [arb.pick([True, True]) for _ in range(100)]
+        assert grants.count(1) == pytest.approx(50, abs=5)
+
+
+class TestTokenBucket:
+    def test_burst_admitted_then_throttled(self):
+        tb = TokenBucket(rate_per_cycle=0.1, burst=5)
+        admitted = sum(tb.consume(0) for _ in range(10))
+        assert admitted == 5
+        assert tb.throttled == 5
+
+    def test_refill_over_time(self):
+        tb = TokenBucket(rate_per_cycle=0.5, burst=2)
+        assert tb.consume(0)
+        assert tb.consume(0)
+        assert not tb.consume(0)
+        assert tb.consume(2)  # one token back after 2 cycles at 0.5/cyc
+
+    def test_tokens_cap_at_burst(self):
+        tb = TokenBucket(rate_per_cycle=1.0, burst=4)
+        assert tb.tokens(1000) == 4
+
+    def test_cycles_until(self):
+        tb = TokenBucket(rate_per_cycle=0.25, burst=1)
+        assert tb.cycles_until(0) == 0
+        tb.consume(0)
+        assert tb.cycles_until(0) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate_per_cycle=0, burst=1)
+        with pytest.raises(ConfigError):
+            TokenBucket(rate_per_cycle=1, burst=0)
+
+    def test_time_reversal_rejected(self):
+        tb = TokenBucket(rate_per_cycle=1, burst=1)
+        tb.consume(10)
+        with pytest.raises(ConfigError):
+            tb.consume(5)
+
+
+class TestRateMeter:
+    def test_rate_over_window(self):
+        meter = RateMeter(window_cycles=100, buckets=10)
+        for t in range(0, 100, 2):
+            meter.record(t)
+        assert meter.rate(99) == pytest.approx(0.5)
+
+    def test_old_events_age_out(self):
+        meter = RateMeter(window_cycles=100, buckets=10)
+        for t in range(50):
+            meter.record(t)
+        assert meter.rate(49) == pytest.approx(0.5)
+        assert meter.rate(500) == 0.0
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigError):
+            RateMeter(window_cycles=5, buckets=10)

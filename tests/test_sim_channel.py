@@ -1,0 +1,289 @@
+"""Unit tests for bounded channels: blocking, backpressure, close semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Channel, ChannelClosed, Engine
+
+
+def test_put_then_get_same_cycle():
+    eng = Engine()
+    ch = Channel(eng, capacity=4)
+    got = []
+
+    def producer():
+        yield ch.put("x")
+
+    def consumer():
+        got.append((yield ch.get()))
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert got == ["x"]
+
+
+def test_get_blocks_until_put():
+    eng = Engine()
+    ch = Channel(eng, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield ch.get()
+        got.append((eng.now, item))
+
+    def producer():
+        yield 25
+        yield ch.put("late")
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert got == [(25, "late")]
+
+
+def test_put_blocks_when_full():
+    eng = Engine()
+    ch = Channel(eng, capacity=1)
+    times = []
+
+    def producer():
+        yield ch.put(1)
+        times.append(eng.now)
+        yield ch.put(2)
+        times.append(eng.now)
+
+    def consumer():
+        yield 10
+        yield ch.get()
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert times == [0, 10]
+
+
+def test_fifo_ordering_preserved():
+    eng = Engine()
+    ch = Channel(eng, capacity=100)
+    got = []
+
+    def producer():
+        for i in range(20):
+            yield ch.put(i)
+
+    def consumer():
+        for _ in range(20):
+            got.append((yield ch.get()))
+            yield 1
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert got == list(range(20))
+
+
+def test_multiple_getters_are_fifo_fair():
+    eng = Engine()
+    ch = Channel(eng, capacity=10)
+    got = []
+
+    def consumer(ident):
+        item = yield ch.get()
+        got.append((ident, item))
+
+    def producer():
+        yield 5
+        yield ch.put("first")
+        yield ch.put("second")
+
+    eng.process(consumer("a"))
+    eng.process(consumer("b"))
+    eng.process(producer())
+    eng.run()
+    assert got == [("a", "first"), ("b", "second")]
+
+
+def test_latency_delays_visibility():
+    eng = Engine()
+    ch = Channel(eng, capacity=4, latency=7)
+    got = []
+
+    def producer():
+        yield ch.put("delayed")
+
+    def consumer():
+        item = yield ch.get()
+        got.append((eng.now, item))
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert got == [(7, "delayed")]
+
+
+def test_latency_counts_against_capacity():
+    eng = Engine()
+    ch = Channel(eng, capacity=1, latency=5)
+    accepted = []
+
+    def producer():
+        yield ch.put(1)
+        accepted.append(eng.now)
+        yield ch.put(2)  # must wait for the first item to be consumed
+        accepted.append(eng.now)
+
+    def consumer():
+        yield ch.get()
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert accepted[0] == 0
+    assert accepted[1] == 5  # item became visible and was consumed at t=5
+
+
+def test_try_put_and_try_get():
+    eng = Engine()
+    ch = Channel(eng, capacity=1)
+    assert ch.try_put("a") is True
+    assert ch.try_put("b") is False
+    ok, item = ch.try_get()
+    assert (ok, item) == (True, "a")
+    ok, item = ch.try_get()
+    assert ok is False
+
+
+def test_capacity_validation():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        Channel(eng, capacity=0)
+    with pytest.raises(SimulationError):
+        Channel(eng, latency=-1)
+
+
+def test_unbounded_channel_never_blocks_put():
+    eng = Engine()
+    ch = Channel(eng, capacity=None)
+
+    def producer():
+        for i in range(1000):
+            yield ch.put(i)
+
+    eng.process(producer())
+    eng.run()
+    assert len(ch) == 1000
+    assert eng.now == 0
+
+
+def test_close_fails_blocked_getters():
+    eng = Engine()
+    ch = Channel(eng, capacity=1)
+    outcomes = []
+
+    def consumer():
+        try:
+            yield ch.get()
+        except ChannelClosed:
+            outcomes.append(("closed", eng.now))
+
+    eng.process(consumer())
+    eng.schedule(9, lambda _: ch.close())
+    eng.run()
+    assert outcomes == [("closed", 9)]
+
+
+def test_close_fails_blocked_putters():
+    eng = Engine()
+    ch = Channel(eng, capacity=1)
+    outcomes = []
+
+    def producer():
+        yield ch.put(1)
+        try:
+            yield ch.put(2)
+        except ChannelClosed:
+            outcomes.append("put failed")
+
+    eng.process(producer())
+    eng.schedule(4, lambda _: ch.close())
+    eng.run()
+    assert outcomes == ["put failed"]
+
+
+def test_closed_channel_drains_remaining_items():
+    eng = Engine()
+    ch = Channel(eng, capacity=4)
+    got = []
+
+    def producer():
+        yield ch.put("a")
+        yield ch.put("b")
+        ch.close()
+
+    def consumer():
+        yield 5
+        got.append((yield ch.get()))
+        got.append((yield ch.get()))
+        try:
+            yield ch.get()
+        except ChannelClosed:
+            got.append("end")
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert got == ["a", "b", "end"]
+
+
+def test_put_on_closed_channel_raises_immediately():
+    eng = Engine()
+    ch = Channel(eng, capacity=1)
+    ch.close()
+    with pytest.raises(ChannelClosed):
+        ch.put("x")
+
+
+def test_close_is_idempotent():
+    eng = Engine()
+    ch = Channel(eng, capacity=1)
+    ch.close()
+    ch.close()
+    assert ch.closed
+
+
+def test_counters_and_watermark():
+    eng = Engine()
+    ch = Channel(eng, capacity=8)
+
+    def producer():
+        for i in range(5):
+            yield ch.put(i)
+
+    def consumer():
+        yield 10
+        for _ in range(5):
+            yield ch.get()
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert ch.total_put == 5
+    assert ch.total_got == 5
+    assert ch.high_watermark == 5
+    assert ch.empty
+
+
+def test_peek_without_removal():
+    eng = Engine()
+    ch = Channel(eng, capacity=2)
+    ch.try_put("front")
+    assert ch.peek() == "front"
+    assert len(ch) == 1
+
+
+def test_peek_empty_raises():
+    eng = Engine()
+    ch = Channel(eng, capacity=2)
+    with pytest.raises(SimulationError):
+        ch.peek()

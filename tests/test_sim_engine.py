@@ -1,0 +1,385 @@
+"""Unit tests for the discrete-event engine, events and processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Event, Interrupt
+
+
+def test_clock_starts_at_zero():
+    eng = Engine()
+    assert eng.now == 0
+
+
+def test_schedule_runs_in_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(5, lambda _: order.append("b"))
+    eng.schedule(1, lambda _: order.append("a"))
+    eng.schedule(9, lambda _: order.append("c"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 9
+
+
+def test_same_cycle_callbacks_keep_insertion_order():
+    eng = Engine()
+    order = []
+    for i in range(10):
+        eng.schedule(3, lambda _, i=i: order.append(i))
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_schedule_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(-1, lambda _: None)
+
+
+def test_run_until_stops_clock_at_bound():
+    eng = Engine()
+    fired = []
+    eng.schedule(100, lambda _: fired.append(1))
+    eng.run(until=50)
+    assert eng.now == 50
+    assert not fired
+    eng.run()
+    assert fired == [1]
+    assert eng.now == 100
+
+
+def test_run_until_advances_clock_even_when_queue_empty():
+    eng = Engine()
+    eng.run(until=42)
+    assert eng.now == 42
+
+
+def test_process_delays_advance_clock():
+    eng = Engine()
+
+    def proc():
+        yield 10
+        yield 15
+
+    eng.process(proc())
+    eng.run()
+    assert eng.now == 25
+
+
+def test_process_return_value_via_done_event():
+    eng = Engine()
+
+    def proc():
+        yield 1
+        return 42
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.done.triggered
+    assert p.done.value == 42
+    assert not p.alive
+
+
+def test_process_yield_none_is_zero_delay():
+    eng = Engine()
+    steps = []
+
+    def proc():
+        steps.append(eng.now)
+        yield None
+        steps.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    assert steps == [0, 0]
+
+
+def test_process_join_child():
+    eng = Engine()
+
+    def child():
+        yield 7
+        return "result"
+
+    def parent():
+        value = yield eng.process(child())
+        return (eng.now, value)
+
+    p = eng.process(parent())
+    eng.run()
+    assert p.done.value == (7, "result")
+
+
+def test_event_wakes_waiting_process():
+    eng = Engine()
+    ev = eng.event("go")
+    seen = []
+
+    def waiter():
+        value = yield ev
+        seen.append((eng.now, value))
+
+    eng.process(waiter())
+    eng.schedule(30, lambda _: ev.succeed("payload"))
+    eng.run()
+    assert seen == [(30, "payload")]
+
+
+def test_event_failure_raises_inside_process():
+    eng = Engine()
+    ev = eng.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as err:
+            caught.append(str(err))
+
+    eng.process(waiter())
+    eng.schedule(5, lambda _: ev.fail(ValueError("boom")))
+    eng.run()
+    assert caught == ["boom"]
+
+
+def test_event_double_trigger_rejected():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    eng = Engine()
+    ev = eng.event("pending")
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_waiting_on_already_triggered_event_resumes_immediately():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed("early")
+    got = []
+
+    def waiter():
+        got.append((yield ev))
+
+    eng.process(waiter())
+    eng.run()
+    assert got == ["early"]
+
+
+def test_timeout_event():
+    eng = Engine()
+    results = []
+
+    def proc():
+        value = yield eng.timeout(12, "done")
+        results.append((eng.now, value))
+
+    eng.process(proc())
+    eng.run()
+    assert results == [(12, "done")]
+
+
+def test_any_of_returns_first_winner():
+    eng = Engine()
+    results = []
+
+    def proc():
+        winner = yield eng.any_of([eng.timeout(50, "slow"), eng.timeout(10, "fast")])
+        results.append((eng.now, winner))
+
+    eng.process(proc())
+    eng.run()
+    assert results == [(10, (1, "fast"))]
+
+
+def test_all_of_waits_for_everything():
+    eng = Engine()
+    results = []
+
+    def proc():
+        values = yield eng.all_of([eng.timeout(5, "a"), eng.timeout(20, "b")])
+        results.append((eng.now, values))
+
+    eng.process(proc())
+    eng.run()
+    assert results == [(20, ["a", "b"])]
+
+
+def test_unhandled_process_error_aborts_run():
+    eng = Engine()
+
+    def bad():
+        yield 1
+        raise RuntimeError("model bug")
+
+    eng.process(bad())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_orphan_errors_swallowed_when_configured():
+    eng = Engine(swallow_orphan_errors=True)
+
+    def bad():
+        yield 1
+        raise RuntimeError("contained fault")
+
+    p = eng.process(bad())
+    eng.run()
+    assert p.done.failed
+
+
+def test_joined_process_error_propagates_to_parent_not_engine():
+    eng = Engine()
+    caught = []
+
+    def bad():
+        yield 1
+        raise RuntimeError("child failed")
+
+    def parent():
+        try:
+            yield eng.process(bad())
+        except RuntimeError as err:
+            caught.append(str(err))
+
+    eng.process(parent())
+    eng.run()
+    assert caught == ["child failed"]
+
+
+def test_interrupt_raises_inside_process():
+    eng = Engine()
+    log = []
+
+    def victim():
+        try:
+            yield 100
+            log.append("completed")
+        except Interrupt as intr:
+            log.append(("interrupted", eng.now, intr.cause))
+
+    p = eng.process(victim())
+    eng.schedule(40, lambda _: p.interrupt("preempt"))
+    eng.run()
+    assert log == [("interrupted", 40, "preempt")]
+
+
+def test_interrupt_dead_process_is_noop():
+    eng = Engine()
+
+    def quick():
+        yield 1
+
+    p = eng.process(quick())
+    eng.run()
+    p.interrupt()
+    eng.run()
+    assert not p.alive
+
+
+def test_interrupted_process_can_continue():
+    eng = Engine()
+    log = []
+
+    def resilient():
+        try:
+            yield 100
+        except Interrupt:
+            pass
+        yield 5
+        log.append(eng.now)
+
+    p = eng.process(resilient())
+    eng.schedule(10, lambda _: p.interrupt())
+    eng.run()
+    assert log == [15]
+
+
+def test_yielding_garbage_fails_the_process():
+    eng = Engine(swallow_orphan_errors=True)
+
+    def bad():
+        yield "not a command"
+
+    p = eng.process(bad())
+    eng.run()
+    assert p.done.failed
+    assert isinstance(p.done.value, SimulationError)
+
+
+def test_negative_delay_fails_the_process():
+    eng = Engine(swallow_orphan_errors=True)
+
+    def bad():
+        yield -5
+
+    p = eng.process(bad())
+    eng.run()
+    assert p.done.failed
+
+
+def test_process_requires_generator():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_run_until_done_returns_value():
+    eng = Engine()
+
+    def proc():
+        yield 3
+        return "ok"
+
+    p = eng.process(proc())
+    assert eng.run_until_done(p.done) == "ok"
+
+
+def test_run_until_done_reraises_failure():
+    eng = Engine(swallow_orphan_errors=True)
+
+    def proc():
+        yield 3
+        raise KeyError("nope")
+
+    p = eng.process(proc())
+    with pytest.raises(KeyError):
+        eng.run_until_done(p.done)
+
+
+def test_run_until_done_detects_drained_queue():
+    eng = Engine()
+    ev = eng.event("never")
+    with pytest.raises(SimulationError):
+        eng.run_until_done(ev)
+
+
+def test_many_processes_interleave_deterministically():
+    eng = Engine()
+    log = []
+
+    def worker(ident, period):
+        for _ in range(3):
+            yield period
+            log.append((eng.now, ident))
+
+    eng.process(worker("a", 2))
+    eng.process(worker("b", 3))
+    eng.run()
+    # At t=6 both wake; b's wake was scheduled first (at t=3, vs. a's at
+    # t=4), so FIFO tie-breaking runs b first — deterministic across runs.
+    assert log == [
+        (2, "a"),
+        (3, "b"),
+        (4, "a"),
+        (6, "b"),
+        (6, "a"),
+        (9, "b"),
+    ]

@@ -1,0 +1,267 @@
+"""Unit tests for resources, RNG pools, stats and the tracer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Counter,
+    Engine,
+    Gauge,
+    Histogram,
+    Resource,
+    RngPool,
+    StatsRegistry,
+    TimeWeighted,
+    Tracer,
+)
+
+
+class TestResource:
+    def test_acquire_release_single_slot(self):
+        eng = Engine()
+        res = Resource(eng, slots=1)
+        timeline = []
+
+        def worker(ident, hold):
+            grant = yield res.acquire()
+            timeline.append((eng.now, ident, "in"))
+            yield hold
+            res.release(grant)
+            timeline.append((eng.now, ident, "out"))
+
+        eng.process(worker("a", 10))
+        eng.process(worker("b", 5))
+        eng.run()
+        assert timeline == [
+            (0, "a", "in"),
+            (10, "a", "out"),
+            (10, "b", "in"),
+            (15, "b", "out"),
+        ]
+
+    def test_multiple_slots_run_concurrently(self):
+        eng = Engine()
+        res = Resource(eng, slots=2)
+        done_at = []
+
+        def worker():
+            grant = yield res.acquire()
+            yield 10
+            res.release(grant)
+            done_at.append(eng.now)
+
+        for _ in range(4):
+            eng.process(worker())
+        eng.run()
+        assert done_at == [10, 10, 20, 20]
+
+    def test_try_acquire(self):
+        eng = Engine()
+        res = Resource(eng, slots=1)
+        grant = res.try_acquire()
+        assert grant is not None
+        assert res.try_acquire() is None
+        res.release(grant)
+        assert res.try_acquire() is not None
+
+    def test_double_release_rejected(self):
+        eng = Engine()
+        res = Resource(eng, slots=1)
+        grant = res.try_acquire()
+        res.release(grant)
+        with pytest.raises(SimulationError):
+            res.release(grant)
+
+    def test_foreign_grant_rejected(self):
+        eng = Engine()
+        a = Resource(eng, slots=1)
+        b = Resource(eng, slots=1)
+        grant = a.try_acquire()
+        with pytest.raises(SimulationError):
+            b.release(grant)
+
+    def test_utilization_accounting(self):
+        eng = Engine()
+        res = Resource(eng, slots=1)
+
+        def worker():
+            grant = yield res.acquire()
+            yield 50
+            res.release(grant)
+            yield 50
+
+        p = eng.process(worker())
+        eng.run()
+        assert eng.now == 100
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_zero_slots_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            Resource(eng, slots=0)
+
+
+class TestRngPool:
+    def test_same_name_same_stream_object(self):
+        pool = RngPool(seed=1)
+        assert pool.stream("x") is pool.stream("x")
+
+    def test_streams_reproducible_across_pools(self):
+        a = RngPool(seed=42).stream("arrivals").integers(0, 1000, size=10)
+        b = RngPool(seed=42).stream("arrivals").integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_give_independent_draws(self):
+        pool = RngPool(seed=42)
+        a = pool.stream("one").integers(0, 10**9, size=8)
+        b = pool.stream("two").integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngPool(seed=1).stream("s").integers(0, 10**9, size=8)
+        b = RngPool(seed=2).stream("s").integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_does_not_perturb_streams(self):
+        p1 = RngPool(seed=9)
+        p1.stream("a")
+        first = p1.stream("target").integers(0, 10**9, size=4)
+        p2 = RngPool(seed=9)
+        p2.stream("z")
+        p2.stream("y")
+        second = p2.stream("target").integers(0, 10**9, size=4)
+        assert np.array_equal(first, second)
+
+    def test_fork_gives_independent_pool(self):
+        base = RngPool(seed=3)
+        forked = base.fork("rep1")
+        a = base.stream("s").integers(0, 10**9, size=4)
+        b = forked.stream("s").integers(0, 10**9, size=4)
+        assert not np.array_equal(a, b)
+        again = RngPool(seed=3).fork("rep1").stream("s").integers(0, 10**9, size=4)
+        assert np.array_equal(b, again)
+
+
+class TestStats:
+    def test_counter_increments(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+
+    def test_gauge_tracks_extremes(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.set(2)
+        g.add(10)
+        assert g.value == 12
+        assert g.min_seen == 0
+        assert g.max_seen == 12
+
+    def test_histogram_summary(self):
+        h = Histogram("lat")
+        h.record_many(range(1, 101))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["mean"] == pytest.approx(50.5)
+        assert s["p50"] == pytest.approx(50.5)
+        assert s["max"] == 100
+
+    def test_histogram_empty_is_nan(self):
+        h = Histogram()
+        assert math.isnan(h.mean())
+        assert math.isnan(h.percentile(99))
+
+    def test_histogram_merge_and_reset(self):
+        a = Histogram()
+        b = Histogram()
+        a.record(1)
+        b.record(3)
+        a.merge(b)
+        assert a.count == 2
+        a.reset()
+        assert a.count == 0
+
+    def test_time_weighted_average(self):
+        tw = TimeWeighted("q")
+        tw.update(10, 4.0)   # value 0 for cycles 0..10
+        tw.update(30, 0.0)   # value 4 for cycles 10..30
+        assert tw.average(40) == pytest.approx((0 * 10 + 4 * 20 + 0 * 10) / 40)
+
+    def test_time_weighted_rejects_time_reversal(self):
+        tw = TimeWeighted()
+        tw.update(5, 1.0)
+        with pytest.raises(ValueError):
+            tw.update(4, 2.0)
+
+    def test_registry_reuses_instances(self):
+        reg = StatsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+
+    def test_registry_snapshot_shape(self):
+        reg = StatsRegistry()
+        reg.counter("sent").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").record(10)
+        snap = reg.snapshot()
+        assert snap["counters"]["sent"] == 3.0
+        assert snap["gauges"]["depth"] == 2.0
+        assert snap["histograms"]["lat"]["count"] == 1
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        t = Tracer()
+        t.emit(0, "noc.inject", "r0", pkt=1)
+        assert len(t) == 0
+
+    def test_enable_records(self):
+        t = Tracer()
+        t.enable()
+        t.emit(5, "monitor.deny", "tile3", reason="no-cap")
+        assert len(t) == 1
+        rec = t.records()[0]
+        assert rec.time == 5
+        assert rec.detail["reason"] == "no-cap"
+
+    def test_prefix_filtering_at_emit(self):
+        t = Tracer()
+        t.enable(prefixes=["monitor."])
+        t.emit(1, "monitor.deny", "a")
+        t.emit(2, "noc.inject", "b")
+        assert len(t) == 1
+
+    def test_query_filters(self):
+        t = Tracer()
+        t.enable()
+        t.emit(1, "monitor.deny", "a")
+        t.emit(2, "monitor.allow", "a")
+        t.emit(3, "monitor.deny", "b")
+        assert t.count("monitor.deny") == 2
+        assert len(t.records(source="a")) == 2
+        assert len(t.records(since=2)) == 2
+
+    def test_sink_receives_live_records(self):
+        t = Tracer()
+        t.enable()
+        seen = []
+        t.add_sink(seen.append)
+        t.emit(1, "x", "y")
+        assert len(seen) == 1
+
+    def test_clear_and_format(self):
+        t = Tracer()
+        t.enable()
+        t.emit(1, "cat", "src", k=1)
+        assert "cat" in t.format()
+        t.clear()
+        assert len(t) == 0

@@ -1,0 +1,160 @@
+"""Tests for workload generators, the remote client, energy model, tables,
+and the cross-system KV harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval import EnergyModel, format_table, run_kv_workload
+from repro.sim import RngPool
+from repro.workloads import (
+    bimodal_sizes,
+    bursty_gaps,
+    constant_gaps,
+    poisson_gaps,
+    uniform_sizes,
+    video_chunks,
+    zipf_keys,
+)
+
+
+class TestGenerators:
+    def rng(self):
+        return RngPool(seed=5).stream("g")
+
+    def test_constant_gaps_rate(self):
+        gaps = constant_gaps(rate_per_kcycle=2.0, count=10)
+        assert gaps == [500] * 10
+
+    def test_poisson_gaps_mean(self):
+        gaps = poisson_gaps(self.rng(), rate_per_kcycle=1.0, count=5000)
+        assert np.mean(gaps) == pytest.approx(1000, rel=0.1)
+        assert min(gaps) >= 1
+
+    def test_poisson_deterministic_per_seed(self):
+        a = poisson_gaps(RngPool(seed=5).stream("g"), 1.0, 100)
+        b = poisson_gaps(RngPool(seed=5).stream("g"), 1.0, 100)
+        assert a == b
+
+    def test_bursty_gaps_long_run_rate(self):
+        gaps = bursty_gaps(self.rng(), rate_per_kcycle=1.0, count=800,
+                           burst_len=8)
+        assert np.mean(gaps) == pytest.approx(1000, rel=0.15)
+        assert min(gaps) == 1  # bursts are back-to-back
+
+    def test_zipf_keys_skewed(self):
+        keys = zipf_keys(self.rng(), 10_000, universe=1000)
+        counts = np.bincount(keys, minlength=1000)
+        # the hottest key dominates the median key
+        assert counts.max() > 50 * max(1, int(np.median(counts)))
+
+    def test_uniform_sizes_range(self):
+        sizes = uniform_sizes(self.rng(), 1000, low=64, high=128)
+        assert min(sizes) >= 64 and max(sizes) <= 128
+
+    def test_bimodal_sizes_fraction(self):
+        sizes = bimodal_sizes(self.rng(), 10_000, large_fraction=0.1)
+        large = sum(1 for s in sizes if s == 4096)
+        assert large == pytest.approx(1000, rel=0.2)
+
+    def test_video_chunks_shape(self):
+        chunks = video_chunks(self.rng(), 50)
+        assert all(c["frames"] == 30 for c in chunks)
+        assert all(c["bytes"] >= 10_000 for c in chunks)
+        assert [c["seq"] for c in chunks] == list(range(50))
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigError):
+            constant_gaps(0, 5)
+        with pytest.raises(ConfigError):
+            poisson_gaps(self.rng(), -1, 5)
+        with pytest.raises(ConfigError):
+            zipf_keys(self.rng(), 5, skew=1.0)
+
+
+class TestEnergyModel:
+    def test_cpu_dominates_hosted_shape(self):
+        hosted = EnergyModel()
+        hosted.add_cpu_cycles(100_000)
+        hosted.add_fpga_cycles(10_000)
+        hosted.add_pcie_bytes(1_000_000)
+        direct = EnergyModel()
+        direct.add_fpga_cycles(10_000)
+        direct.add_noc_flit_hops(50_000)
+        assert hosted.breakdown.total_nj > 5 * direct.breakdown.total_nj
+        assert hosted.breakdown.cpu_nj > hosted.breakdown.fpga_nj
+
+    def test_per_request_normalization(self):
+        model = EnergyModel()
+        model.add_fpga_cycles(1_000_000)
+        assert model.breakdown.per_request_uj(1000) == pytest.approx(12.0)
+        assert model.breakdown.per_request_uj(0) == 0.0
+
+    def test_breakdown_dict_keys(self):
+        model = EnergyModel()
+        model.add_nic_frames(10)
+        d = model.breakdown.as_dict()
+        assert set(d) == {"cpu_nj", "fpga_nj", "noc_nj", "pcie_nj",
+                          "dram_nj", "nic_nj", "total_nj"}
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22.5]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # all same width
+
+    def test_format_value_kinds(self):
+        from repro.eval import format_value
+
+        assert format_value(1234567) == "1,234,567"
+        assert format_value(0.5) == "0.500"
+        assert format_value(1e-9) == "1.00e-09"
+        assert format_value("x") == "x"
+        assert format_value(True) == "True"
+
+
+class TestKvHarness:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            kind: run_kv_workload(kind, n_requests=40, warmup_keys=8)
+            for kind in ("apiary", "hosted", "hosted_bypass", "bare")
+        }
+
+    def test_all_requests_complete(self, results):
+        for kind, r in results.items():
+            assert r["completed"] == 40, kind
+            assert r["timeouts"] == 0, kind
+
+    def test_direct_attach_beats_hosted_on_latency(self, results):
+        """The D1 headline shape."""
+        assert results["apiary"]["latency"]["p50"] < results["hosted"]["latency"]["p50"]
+        assert results["apiary"]["latency"]["p50"] < results["hosted_bypass"]["latency"]["p50"]
+
+    def test_apiary_overhead_over_bare_is_small(self, results):
+        """Apiary's interposition costs a few percent, not a multiple."""
+        apiary = results["apiary"]["latency"]["p50"]
+        bare = results["bare"]["latency"]["p50"]
+        assert apiary < bare * 1.25
+
+    def test_hosted_burns_cpu_direct_does_not(self, results):
+        """The D3 CPU-overhead shape."""
+        assert results["hosted"]["cpu_cycles_per_request"] > 500
+        assert results["apiary"]["cpu_cycles_per_request"] == 0
+        assert results["bare"]["cpu_cycles_per_request"] == 0
+
+    def test_hosted_energy_dominated_by_cpu(self, results):
+        hosted = results["hosted"]["energy_breakdown"]
+        assert hosted["cpu_nj"] > hosted["fpga_nj"]
+        assert (results["hosted"]["energy_uj_per_request"]
+                > 3 * results["apiary"]["energy_uj_per_request"])
+
+    def test_bypass_cheaper_than_kernel_stack(self, results):
+        assert (results["hosted_bypass"]["cpu_cycles_per_request"]
+                < results["hosted"]["cpu_cycles_per_request"])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            run_kv_workload("mainframe")
