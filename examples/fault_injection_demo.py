@@ -9,10 +9,18 @@ Scenario 2 — preemption: a multi-context (preemptible) video encoder takes
 a fault in one stream's context; the tile keeps running, the other stream
 never notices, and the faulted stream resumes from externalized state.
 
+Scenario 3 — chaos + recovery: a seeded fault-injection plan repeatedly
+crashes a checksum service while retrying clients keep calling; the
+recovery watchdog restarts the service (or fails it over to a spare tile)
+fast enough that every request completes — end to end through
+``chaos.Injector`` and ``kernel.recovery.RecoveryManager``.
+
 Run:  python examples/fault_injection_demo.py
 """
 
 from repro.accel import Accelerator, CrashingAccel, EchoAccel, PreemptibleVideoEncoder
+from repro.chaos import ChecksumService, FaultKind, FaultPlan, Injector, checksum
+from repro.errors import DeadlineExceeded
 from repro.kernel import ApiarySystem, FaultPolicy
 
 
@@ -113,6 +121,84 @@ def scenario_preempt():
           f"{sorted(encoder.streams)}")
 
 
+class RetryingCaller(Accelerator):
+    """Calls through the retrying shell API, verifying every checksum."""
+
+    def __init__(self, name, target, count=12, gap=30_000):
+        super().__init__(name)
+        self.target = target
+        self.count = count
+        self.gap = gap
+        self.ok = 0
+        self.failed = 0
+        self.bad = 0
+
+    def main(self, shell):
+        for i in range(self.count):
+            body = f"{self.name}/req{i}"
+            try:
+                msg = yield from shell.call_with_retry(
+                    self.target, "sum", payload=body,
+                    deadline=300_000, attempt_timeout=25_000)
+            except DeadlineExceeded:
+                self.failed += 1
+            else:
+                if msg.payload == checksum(body):
+                    self.ok += 1
+                else:
+                    self.bad += 1
+            yield self.gap
+
+
+def scenario_chaos_recovery():
+    print("=== Scenario 3: chaos campaign vs. the recovery subsystem ===")
+    system = ApiarySystem(width=4, height=4)
+    recovery = system.enable_recovery(spares=[15], prefer_spare=True,
+                                      heartbeat_interval=5_000)
+    started = recovery.deploy(1, ChecksumService, "svc.checksum")
+    system.boot()
+    system.run_until(started)
+
+    callers = []
+    for node in (2, 3):
+        caller = RetryingCaller(f"caller{node}", "svc.checksum")
+        s = system.start_app(node, caller)
+        system.mgmt.grant_send(f"tile{node}", "svc.checksum")
+        system.run_until(s)
+        callers.append(caller)
+
+    plan = FaultPlan.generate(
+        seed=2026, duration=600_000,
+        rates={FaultKind.TILE_CRASH: 6.0,
+               FaultKind.NOC_ROUTER_STALL: 3.0},
+        targets={FaultKind.TILE_CRASH: ["svc.checksum"],
+                 FaultKind.NOC_ROUTER_STALL: list(range(16))},
+        min_events={FaultKind.TILE_CRASH: 2},
+    )
+    print("  plan:")
+    for line in plan.describe().split("\n")[1:]:
+        print(f"    {line}")
+    injector = Injector(system, plan)
+    injector.arm()
+    system.run(until=system.engine.now + 1_500_000)
+    recovery.stop()
+
+    print(f"  faults applied: {injector.applied}, "
+          f"skipped: {injector.skipped}")
+    for t, ev, outcome in injector.log:
+        print(f"    cycle {t:,}: {ev.kind.value} -> {outcome}")
+    for r in recovery.recoveries:
+        print(f"  recovery: {r.kind} of {r.endpoint} "
+              f"tile{r.from_node} -> tile{r.to_node} (MTTR {r.mttr:,} cyc)")
+    for caller in callers:
+        print(f"  {caller.name}: {caller.ok} ok, {caller.failed} failed, "
+              f"{caller.bad} bad checksums")
+    node = system.name_table["svc.checksum"]
+    print(f"  svc.checksum now lives on tile{node}; "
+          f"spares left: {recovery.spares}")
+
+
 if __name__ == "__main__":
     scenario_fail_stop()
     scenario_preempt()
+    scenario_chaos_recovery()

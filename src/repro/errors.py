@@ -61,8 +61,21 @@ class ServiceUnavailable(ServiceError):
     """The named service is not registered or its tile is failed/drained."""
 
 
+class DeadlineExceeded(ServiceUnavailable):
+    """An RPC deadline expired before a response arrived.
+
+    Subclasses :class:`ServiceUnavailable` so callers that treat timeouts as
+    plain unavailability keep working; retry loops catch this specifically
+    to stop retrying once the caller's overall deadline is spent.
+    """
+
+
 class TileFault(ReproError):
     """An accelerator on a tile raised a modelled hardware fault."""
+
+
+class DramFault(ReproError):
+    """A DRAM bank is (temporarily) failed; the access cannot complete."""
 
 
 class ReconfigError(ReproError):

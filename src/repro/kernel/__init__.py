@@ -26,6 +26,7 @@ from repro.kernel.services import (
     NetworkService,
     TenGigAdapter,
 )
+from repro.kernel.recovery import Deployment, RecoveryEvent, RecoveryManager
 from repro.kernel.remote import RemoteCpuServiceHost, RemoteServiceProxy
 from repro.kernel.shell import AllocatedSegment, Shell
 from repro.kernel.system import ApiarySystem, build_figure1
@@ -46,6 +47,9 @@ __all__ = [
     "FaultPolicy",
     "FaultRecord",
     "MgmtPlane",
+    "RecoveryManager",
+    "Deployment",
+    "RecoveryEvent",
     "MemoryService",
     "NetworkService",
     "MacAdapter",

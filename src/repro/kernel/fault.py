@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import TileFault
 from repro.sim import Engine, StatsRegistry, Tracer
@@ -64,6 +64,12 @@ class FaultManager:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.records: List[FaultRecord] = []
+        self._by_tile: Dict[str, List[FaultRecord]] = {}
+        #: subscribers notified after each containment action — the recovery
+        #: subsystem hooks here so it reacts the cycle a tile drains instead
+        #: of waiting for the next watchdog heartbeat.
+        self.on_fault: List[Callable[["Tile", FaultRecord], None]] = []
+        self._containment_sum = 0.0
 
     def report(self, tile: "Tile", context: str, error: BaseException) -> None:
         """A process on ``tile`` died with ``error``; contain it."""
@@ -93,8 +99,19 @@ class FaultManager:
             action=action,
         )
         self.records.append(record)
+        self._by_tile.setdefault(tile.endpoint, []).append(record)
+        # faults stamped with when they physically occurred (chaos-injected
+        # crashes carry `occurred_at`) let us gauge detection-to-containment
+        # latency; organically reported faults are contained the same cycle.
+        occurred = getattr(error, "occurred_at", self.engine.now)
+        self._containment_sum += self.engine.now - occurred
+        self.stats.gauge("fault.mean_time_to_containment").set(
+            self._containment_sum / len(self.records)
+        )
         self.tracer.emit(self.engine.now, "fault.contained", tile.endpoint,
                          context=context, action=action)
+        for callback in list(self.on_fault):
+            callback(tile, record)
 
     def faults_on(self, tile_endpoint: str) -> List[FaultRecord]:
-        return [r for r in self.records if r.tile == tile_endpoint]
+        return list(self._by_tile.get(tile_endpoint, ()))

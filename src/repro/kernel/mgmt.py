@@ -12,7 +12,7 @@ to AmorphOS/Coyote.  Callers name the target tile explicitly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cap.capability import CapabilityRef, Rights
 from repro.cap.captable import CapabilityStore
@@ -43,6 +43,9 @@ class MgmtPlane:
         self.tracer = tracer if tracer is not None else Tracer()
         #: endpoints considered OS services: new tiles are auto-wired to them
         self.service_endpoints: List[str] = []
+        #: (holder, endpoint) pairs granted via grant_send — the policy-level
+        #: record that lets recovery re-mint a failed-over tile's authority
+        self.send_grants: Set[Tuple[str, str]] = set()
 
     # -- naming (the per-tile tables of Section 4.3) ---------------------------
 
@@ -76,6 +79,7 @@ class MgmtPlane:
         without an explicit grant.
         """
         ref = self.caps.mint(holder, Rights.SEND, endpoint=endpoint)
+        self.send_grants.add((holder, endpoint))
         self.tracer.emit(self.engine.now, "mgmt.grant_send", "mgmt",
                          holder=holder, endpoint=endpoint)
         return ref
@@ -87,6 +91,26 @@ class MgmtPlane:
 
     def revoke_endpoint_caps(self, holder: str) -> int:
         return self.caps.revoke_holder(holder)
+
+    def grants_of(self, holder: str) -> List[str]:
+        """Endpoints ``holder`` was granted SEND to, in stable order."""
+        return sorted(ep for h, ep in self.send_grants if h == holder)
+
+    def regrant(self, old_holder: str, new_holder: str) -> int:
+        """Re-mint ``old_holder``'s SEND grants for ``new_holder``.
+
+        The failover half of recovery: the replacement tile gets exactly
+        the authority the dead one held, and the dead holder's policy
+        record is cleared (its actual capabilities were revoked at
+        teardown).  Grants to endpoints that no longer resolve are dropped.
+        """
+        moved = 0
+        for endpoint in self.grants_of(old_holder):
+            self.send_grants.discard((old_holder, endpoint))
+            if endpoint in self.name_table:
+                self.grant_send(new_holder, endpoint)
+                moved += 1
+        return moved
 
     # -- tile lifecycle ----------------------------------------------------------------
 
@@ -166,11 +190,22 @@ class MgmtPlane:
         self.tiles[node].fail_stop()
         self.stats.counter("mgmt.fail_stops").inc()
 
+    def free_tiles(self) -> List[int]:
+        """Nodes whose slot is empty and idle — candidates for placement."""
+        return [
+            node for node, tile in enumerate(self.tiles)
+            if tile.accelerator is None and not tile.region.reconfiguring
+            and not tile.region.occupied
+        ]
+
     def teardown(self, node: int, revoke: bool = True) -> Event:
         """Stop a tile, revoke its authority, and free the slot."""
         tile = self.tiles[node]
         if revoke:
             self.revoke_endpoint_caps(tile.endpoint)
+            self.send_grants = {
+                g for g in self.send_grants if g[0] != tile.endpoint
+            }
         # remove any extra endpoint names pointing at this tile
         for name in [n for n, t in self.name_table.items()
                      if t == node and n != tile.endpoint]:

@@ -138,6 +138,20 @@ class Monitor:
             "rate_limited": float(self.bucket is not None),
         }
 
+    def heartbeat(self) -> Dict[str, float]:
+        """Liveness probe for the management plane's watchdog (§4.4).
+
+        Monitors sit in the trusted static region, so they answer even when
+        their tile's accelerator is dead — which is exactly how the watchdog
+        tells "drained tile" apart from "no answer at all".
+        """
+        return {
+            "alive": float(not self.drained),
+            "drained": float(self.drained),
+            "egress_backlog": float(len(self._egress_queue)),
+            "time": float(self.engine.now),
+        }
+
     # -- cost reporting (D4 / A2) ---------------------------------------------
 
     def logic_cost(self) -> ResourceVector:

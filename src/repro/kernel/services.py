@@ -27,6 +27,7 @@ from repro.errors import (
     AccessDenied,
     AllocationError,
     ConfigError,
+    DramFault,
     ProtocolError,
     SegmentFault,
 )
@@ -100,7 +101,7 @@ class MemoryService(Accelerator):
         try:
             payload, payload_bytes = yield from handler(msg)
         except (AllocationError, AccessDenied, SegmentFault, ProtocolError,
-                ConfigError) as err:
+                ConfigError, DramFault) as err:
             yield shell.reply(msg, payload=f"{type(err).__name__}: {err}",
                               error=True)
             return
@@ -151,6 +152,8 @@ class MemoryService(Accelerator):
         seg, physical = self._locate(msg, is_write=True)
         access: MemAccess = msg.payload
         yield from self.dram.access(physical, access.nbytes, is_write=True)
+        # writing refreshes the cells: any injected upsets in range are gone
+        self.dram.scrub(physical, access.nbytes)
         store = self._backing[seg.sid]
         end = access.offset + access.nbytes
         if len(store) < end:
@@ -169,6 +172,12 @@ class MemoryService(Accelerator):
         store = self._backing[seg.sid]
         end = access.offset + access.nbytes
         data = bytes(store[access.offset:end]).ljust(access.nbytes, b"\x00")
+        upset = self.dram.corrupted_in(physical, access.nbytes)
+        if upset:
+            buf = bytearray(data)
+            for off in upset:
+                buf[off] ^= 0x80  # the flipped bit reaches the reader
+            data = bytes(buf)
         return data, access.nbytes
 
     def _grant(self, msg: Message):

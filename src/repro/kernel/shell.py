@@ -24,7 +24,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.cap.capability import CapabilityRef
-from repro.errors import ProtocolError, ServiceError, ServiceUnavailable
+from repro.errors import (
+    DeadlineExceeded,
+    ProtocolError,
+    ServiceError,
+    ServiceUnavailable,
+    TileFault,
+)
 from repro.kernel.message import MemAccess, Message, MessageKind
 from repro.kernel.monitor import Monitor
 from repro.sim import Channel, Engine, Event, Process
@@ -62,6 +68,7 @@ class Shell:
         self.calls_made = 0
         self.calls_failed = 0
         self.calls_timed_out = 0
+        self.calls_retried = 0
         monitor.deliver = self._deliver
 
     @property
@@ -96,7 +103,8 @@ class Shell:
         """RPC: event succeeds with the response :class:`Message`.
 
         Failure modes: monitor denial (AccessDenied/ServiceUnavailable),
-        an ERROR response (ServiceError), or timeout (ServiceUnavailable).
+        an ERROR response (ServiceError), or timeout (DeadlineExceeded,
+        a ServiceUnavailable subclass).
         """
         msg = Message(src=self.name, dst=dst, op=op,
                       kind=MessageKind.REQUEST, payload=payload,
@@ -119,11 +127,64 @@ class Shell:
                     del self._pending[msg.mid]
                     self.calls_timed_out += 1
                     if not result.triggered:
-                        result.fail(ServiceUnavailable(
+                        result.fail(DeadlineExceeded(
                             f"call {op!r} to {dst!r} timed out after {timeout}"
                         ))
             self.engine.timeout(timeout).add_callback(on_timeout)
         return result
+
+    def call_with_retry(
+        self,
+        dst: str,
+        op: str,
+        payload: Any = None,
+        payload_bytes: int = 0,
+        cap: Optional[CapabilityRef] = None,
+        priority: int = 0,
+        deadline: int = 200_000,
+        attempt_timeout: int = 20_000,
+        max_attempts: Optional[int] = None,
+        backoff_base: int = 500,
+        backoff_cap: int = 16_000,
+    ):
+        """Process generator: ``call`` with deadline + exponential backoff.
+
+        Use via ``msg = yield from shell.call_with_retry(...)``.  Retries on
+        service errors, per-attempt timeouts, and fail-stop NACKs — the
+        failure modes a recovering service emits mid-failover — and raises
+        :class:`DeadlineExceeded` once the overall ``deadline`` (cycles) is
+        spent.  Capability denials (``AccessDenied``) propagate immediately:
+        retrying an unauthorized call never helps.  Backoff is deterministic
+        (no jitter) so seeded experiments replay exactly.
+        """
+        start = self.engine.now
+        attempt = 0
+        last_error: Optional[BaseException] = None
+        while True:
+            remaining = deadline - (self.engine.now - start)
+            out_of_attempts = (max_attempts is not None
+                               and attempt >= max_attempts)
+            if remaining <= 0 or out_of_attempts:
+                raise DeadlineExceeded(
+                    f"call {op!r} to {dst!r} gave up after {attempt} "
+                    f"attempt(s) in {self.engine.now - start} cycles "
+                    f"(last error: {last_error})"
+                )
+            attempt += 1
+            try:
+                msg = yield self.call(
+                    dst, op, payload=payload, payload_bytes=payload_bytes,
+                    cap=cap, priority=priority,
+                    timeout=min(attempt_timeout, remaining),
+                )
+                return msg
+            except (ServiceError, TileFault) as err:
+                last_error = err
+            self.calls_retried += 1
+            backoff = min(backoff_base * (2 ** (attempt - 1)), backoff_cap)
+            backoff = max(1, min(backoff,
+                                 deadline - (self.engine.now - start)))
+            yield backoff
 
     def notify(self, dst: str, op: str, payload: Any = None,
                payload_bytes: int = 0, cap: Optional[CapabilityRef] = None,

@@ -20,6 +20,7 @@ from repro.hw.resources import ResourceBudget, ResourceVector, monitor_cost, rou
 from repro.kernel.fault import FaultManager, FaultPolicy
 from repro.kernel.mgmt import MgmtPlane
 from repro.kernel.monitor import Monitor
+from repro.kernel.recovery import RecoveryManager
 from repro.kernel.services import (
     HundredGigAdapter,
     MemoryService,
@@ -174,7 +175,33 @@ class ApiarySystem:
                 self.mgmt.load_service(net_tile, self.net_service, "svc.net")
             )
 
+        self.recovery: Optional[RecoveryManager] = None
+
     # -- convenience -------------------------------------------------------------
+
+    def enable_recovery(
+        self,
+        spares: Optional[List[int]] = None,
+        heartbeat_interval: int = 5_000,
+        prefer_spare: bool = False,
+        max_restarts: int = 8,
+    ) -> RecoveryManager:
+        """Attach a :class:`RecoveryManager` watchdog to this system.
+
+        Call once, after construction; deploy services that must survive
+        faults through ``system.recovery.deploy(...)``.  Note the watchdog
+        polls forever — drive the engine with ``run(until=...)`` or
+        ``run_until(event)`` rather than an open-ended ``run()``.
+        """
+        if self.recovery is not None:
+            raise ConfigError("recovery is already enabled")
+        self.recovery = RecoveryManager(
+            self.engine, self.mgmt, self.fault_manager,
+            spares=spares, heartbeat_interval=heartbeat_interval,
+            prefer_spare=prefer_spare, max_restarts=max_restarts,
+            stats=self.stats, tracer=self.tracer,
+        )
+        return self.recovery
 
     def boot(self, extra_cycles: int = 5000) -> None:
         """Run until the OS services are loaded and brought up."""

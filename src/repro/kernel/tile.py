@@ -42,6 +42,8 @@ class Tile:
         self.main_process: Optional[Process] = None
         self.saved_contexts: Dict[str, Dict[str, Any]] = {}
         self.failed = False
+        #: cycle of the most recent fail-stop; recovery computes MTTR from it
+        self.failed_at: Optional[int] = None
 
     @property
     def endpoint(self) -> str:
@@ -75,6 +77,7 @@ class Tile:
             accelerator.shell = self.shell
             accelerator.tile = self
             self.failed = False
+            self.failed_at = None
             self.monitor.undrain()
             self.main_process = self.engine.process(
                 self._guarded("main", accelerator.main(self.shell)),
@@ -124,19 +127,45 @@ class Tile:
         except Interrupt:
             return None
 
-    # -- fault actions (invoked by the FaultManager) -------------------------------
+    # -- fault actions (invoked by the FaultManager / chaos injector) --------------
+
+    def inject_crash(self, reason: str = "injected crash") -> bool:
+        """Spontaneous hardware failure of the whole accelerator (chaos).
+
+        Reports through the fault manager like any organic fault so the
+        normal containment policy (and recovery subscribers) run.  Returns
+        False when there is nothing to crash (empty or already-failed tile).
+        """
+        if self.accelerator is None or self.failed:
+            return False
+        err = TileFault(f"{self.endpoint}: {reason}")
+        err.occurred_at = self.engine.now
+        if self.fault_manager is not None:
+            self.fault_manager.report(self, "main", err)
+        else:
+            self.fail_stop()
+        return True
 
     def fail_stop(self) -> None:
         """Drain the monitor and kill every process on the tile."""
         if self.failed:
             return
         self.failed = True
+        self.failed_at = self.engine.now
         self.monitor.drain()
         # abort in-flight calls so peers don't wait on a dead tile
         for waiter in list(self.shell._pending.values()):
             if not waiter.triggered:
                 waiter.fail(TileFault(f"{self.endpoint} fail-stopped"))
         self.shell._pending.clear()
+        # NACK requests already delivered but not yet served, so their
+        # callers get an error instead of a stranded wait (§4.4 drain:
+        # "returning an error to any accelerator that tries to communicate")
+        while True:
+            ok, msg = self.shell.inbox.try_get()
+            if not ok:
+                break
+            self.monitor._nack(msg)
         if self.main_process is not None and self.main_process.alive:
             self.main_process.interrupt("fail-stop")
         for child in self.shell.children:

@@ -55,6 +55,7 @@ class TenGigMac:
                                           name=f"{mac_addr}.tx")
         self.frames_sent = 0
         self.frames_received = 0
+        self.crc_drops = 0
         engine.process(self._tx_loop(), name=f"mac10g.{mac_addr}")
         fabric.attach(mac_addr, self._rx)
 
@@ -106,6 +107,9 @@ class TenGigMac:
     def _rx(self, frame: EthernetFrame) -> None:
         if not self.ready or self._rx_callback is None:
             return  # frames before bring-up are dropped on the floor
+        if frame.corrupted:
+            self.crc_drops += 1  # FCS mismatch: the MAC discards silently
+            return
         self.frames_received += 1
         self._rx_callback(frame)
 
@@ -140,6 +144,7 @@ class HundredGigMac:
         self._tx_kick: Optional[Event] = None
         self.frames_sent = 0
         self.frames_received = 0
+        self.crc_drops = 0
         engine.process(self._tx_loop(), name=f"mac100g.{mac_addr}")
         fabric.attach(mac_addr, self._rx)
 
@@ -201,6 +206,9 @@ class HundredGigMac:
 
     def _rx(self, frame: EthernetFrame) -> None:
         if not self.ready or self._rx_handler is None:
+            return
+        if frame.corrupted:
+            self.crc_drops += 1
             return
         self.frames_received += 1
         self._rx_handler(frame)

@@ -63,6 +63,11 @@ class NetworkInterface:
         )
         self.packets_sent = 0
         self.packets_received = 0
+        #: fault injection: packets handed to the NI before this cycle are
+        #: silently discarded (the sender sees a successful injection, the
+        #: packet never traverses the fabric — a lossy physical link).
+        self.drop_until = 0
+        self.packets_dropped = 0
         self.engine.process(self._injector(), name=f"{self.name}.inj")
         self.engine.process(self._ejector(), name=f"{self.name}.ej")
 
@@ -107,6 +112,16 @@ class NetworkInterface:
     def inject_backlog(self) -> int:
         return len(self._inject_queue)
 
+    def drop_for(self, cycles: int) -> None:
+        """Open a loss window: packets injected during it vanish silently.
+
+        Drops happen at injection time, never mid-flight — dropping flits
+        inside the fabric would corrupt the credit protocol and wormhole
+        reassembly, which real NoCs guarantee against; what fails in the
+        field is the tile-to-NoC interface, modelled here.
+        """
+        self.drop_until = max(self.drop_until, self.engine.now + cycles)
+
     # -- router-facing callbacks (wired by Network) --------------------------
 
     def _local_credit(self, vc: int) -> None:
@@ -130,6 +145,11 @@ class NetworkInterface:
         router = self.network.router(self.node)
         while True:
             pkt, done = yield self._inject_queue.get()
+            if self.engine.now < self.drop_until:
+                self.packets_dropped += 1
+                self.network.stats.counter("noc.packets_dropped").inc()
+                done.succeed(pkt)  # sender saw a clean injection; data is gone
+                continue
             pkt.injected_at = self.engine.now
             vcs = router.allowed_vcs(pkt.vc_class)
             for flit in pkt.make_flits():
@@ -264,6 +284,12 @@ class Network:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self._next_pid = 0
+        # fault injection: (src, port) -> (extra hop latency, expires at).
+        # _link_last_arrival keeps per-link delivery monotone so a window
+        # expiring mid-packet cannot reorder flits (wormhole requires FIFO
+        # links).
+        self._link_slow: Dict[Any, Any] = {}
+        self._link_last_arrival: Dict[Any, int] = {}
 
         self._routers: List[Router] = [
             Router(
@@ -286,9 +312,15 @@ class Network:
             dst_router = self._routers[dst]
             in_port = port.opposite
 
-            def deliver(flit: Flit, _dst=dst_router, _p=in_port) -> None:
+            def deliver(flit: Flit, _dst=dst_router, _p=in_port,
+                        _key=(src, port)) -> None:
+                delay = self.hop_latency + self._link_extra(_key)
+                arrival = max(self.engine.now + delay,
+                              self._link_last_arrival.get(_key, 0))
+                self._link_last_arrival[_key] = arrival
                 self.engine.schedule(
-                    self.hop_latency, lambda _: _dst.accept_flit(_p, flit)
+                    arrival - self.engine.now,
+                    lambda _: _dst.accept_flit(_p, flit),
                 )
 
             def credit(vc: int, _src=src_router, _p=port) -> None:
@@ -309,7 +341,28 @@ class Network:
             router.connect_output(Port.LOCAL, deliver_local, lambda vc: None)
             router.connect_input_credit(Port.LOCAL, ni._local_credit)
 
+    def _link_extra(self, key) -> int:
+        entry = self._link_slow.get(key)
+        if entry is None:
+            return 0
+        extra, until = entry
+        if self.engine.now >= until:
+            del self._link_slow[key]
+            return 0
+        return extra
+
     # -- public API -----------------------------------------------------------
+
+    def slow_link(self, src: int, port: Port, extra_latency: int,
+                  duration: int) -> None:
+        """Degrade one directed link for ``duration`` cycles (fault
+        injection: a marginal SerDes lane dropping to a lower rate)."""
+        if extra_latency < 0 or duration < 1:
+            raise ConfigError("slow_link needs extra >= 0 and duration >= 1")
+        self._link_slow[(src, port)] = (
+            extra_latency, self.engine.now + duration
+        )
+        self.stats.counter("noc.links_degraded").inc()
 
     def router(self, node: int) -> Router:
         return self._routers[node]

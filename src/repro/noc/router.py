@@ -138,6 +138,11 @@ class Router:
         self._wake = engine.event(f"{self.name}.wake")
         self._awake = False
         self.flits_forwarded = 0
+        #: fault injection: allocation is suspended until this cycle.
+        #: Buffered flits sit still and credits stop flowing upstream, so
+        #: backpressure spreads exactly as a stuck pipeline stage would.
+        self.stalled_until = 0
+        self.stalls_injected = 0
         engine.process(self._run(), name=self.name)
 
     # -- wiring (called by Network) ---------------------------------------
@@ -192,8 +197,17 @@ class Router:
 
     # -- the router process -------------------------------------------------
 
+    def stall(self, cycles: int) -> None:
+        """Freeze switch allocation for ``cycles`` (fault injection)."""
+        self.stalled_until = max(self.stalled_until, self.engine.now + cycles)
+        self.stalls_injected += 1
+        self._wake_up()
+
     def _run(self):
         while True:
+            if self.engine.now < self.stalled_until:
+                yield self.stalled_until - self.engine.now
+                continue
             if not self._has_buffered_flits():
                 self._awake = False
                 yield self._wake

@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeadlineExceeded
 from repro.net.frame import EthernetFabric
 from repro.net.transport import ReliableEndpoint
 from repro.sim import Channel, Engine, Event, Histogram
@@ -57,6 +57,8 @@ class RemoteClientHost:
         return self._peers[peer_mac]
 
     def _rx_frame(self, frame) -> None:
+        if getattr(frame, "corrupted", False):
+            return  # host NIC drops bad-CRC frames; transport retransmits
         endpoint = self._peer(frame.src_mac)
         endpoint.deliver_frame(frame)
 
@@ -92,6 +94,41 @@ class RemoteClientHost:
                         done.fail(ConfigError(f"request {rid} timed out"))
             self.engine.timeout(timeout).add_callback(expire)
         return done
+
+    def request_with_retry(self, peer_mac: str, port: int, body: Any,
+                           nbytes: int = 64, deadline: int = 400_000,
+                           attempt_timeout: int = 50_000,
+                           backoff_base: int = 2_000,
+                           backoff_cap: int = 32_000):
+        """Process generator: one request, retried until ``deadline``.
+
+        ``yield from`` it; returns the response body or raises
+        :class:`DeadlineExceeded`.  Each attempt re-sends the request with a
+        fresh id, so a response to a timed-out attempt is simply dropped —
+        the failover-survival behaviour the recovery subsystem assumes of
+        well-behaved clients.  Backoff is deterministic (seeded runs replay).
+        """
+        start = self.engine.now
+        attempt = 0
+        while True:
+            remaining = deadline - (self.engine.now - start)
+            if remaining <= 0:
+                raise DeadlineExceeded(
+                    f"request to {peer_mac}:{port} gave up after {attempt} "
+                    f"attempt(s)"
+                )
+            attempt += 1
+            try:
+                response = yield self.request(
+                    peer_mac, port, body, nbytes=nbytes,
+                    timeout=min(attempt_timeout, remaining),
+                )
+                return response
+            except ConfigError:
+                pass  # attempt timed out; back off and retry
+            backoff = min(backoff_base * (2 ** (attempt - 1)), backoff_cap)
+            yield max(1, min(backoff,
+                             deadline - (self.engine.now - start)))
 
     def closed_loop(self, peer_mac: str, port: int, bodies: List[Any],
                     nbytes: int = 64, gaps: Optional[List[int]] = None,

@@ -297,3 +297,103 @@ class TestLifecycle:
         system.run(until=system.engine.now + 2_000_000)
         assert client.ok == 20
         assert not client.failures
+
+
+class TestFaultIndex:
+    """The per-tile fault index and containment-time telemetry."""
+
+    def crash(self, system, node, endpoint):
+        victim = CrashingAccel(f"victim{node}", crash_after=1)
+        start(system, node, victim, endpoint=endpoint)
+        client = ScriptedClient(f"client{node}", endpoint, count=3)
+        client_node = node + 1
+        started = system.start_app(client_node, client)
+        system.mgmt.grant_send(f"tile{client_node}", endpoint)
+        system.run_until(started)
+
+    def test_faults_on_indexes_per_tile(self):
+        system = booted(width=4, height=2)
+        self.crash(system, 2, "app.a")
+        self.crash(system, 4, "app.b")
+        system.run(until=system.engine.now + 2_000_000)
+        assert len(system.fault_manager.records) == 2
+        assert [r.tile for r in system.fault_manager.faults_on("tile2")] \
+            == ["tile2"]
+        assert [r.tile for r in system.fault_manager.faults_on("tile4")] \
+            == ["tile4"]
+        assert system.fault_manager.faults_on("tile6") == []
+
+    def test_faults_on_matches_linear_scan(self):
+        system = booted()
+        self.crash(system, 2, "app.a")
+        system.run(until=system.engine.now + 2_000_000)
+        scan = [r for r in system.fault_manager.records if r.tile == "tile2"]
+        assert system.fault_manager.faults_on("tile2") == scan
+
+    def test_mean_time_to_containment_gauge(self):
+        system = booted()
+        self.crash(system, 2, "app.a")
+        system.run(until=system.engine.now + 2_000_000)
+        gauge = system.stats.gauges["fault.mean_time_to_containment"]
+        assert gauge.value >= 0.0
+
+
+class TestPreemptRoundTrip:
+    """Satellite for FaultPolicy.PREEMPT: externalized state round-trips
+    and a resumed context produces output identical to an uninterrupted
+    run (the client retries the one request lost in flight)."""
+
+    class RetryEncodeClient(Accelerator):
+        def __init__(self, count=10):
+            super().__init__("rclient")
+            self.count = count
+            self.replies = []
+
+        def main(self, shell):
+            for i in range(self.count):
+                # bytes/frames chosen so complexity == the initial
+                # rate_state: output bytes don't depend on how many times
+                # the retried chunk was (re)processed
+                msg = yield from shell.call_with_retry(
+                    "app.enc", "encode",
+                    payload={"stream": "s0", "seq": i, "frames": 1,
+                             "bytes": 50_000},
+                    deadline=4_000_000, attempt_timeout=200_000)
+                self.replies.append(msg.payload)
+                yield 2_000
+
+    def run_stream(self, inject):
+        system = booted(policy=FaultPolicy.PREEMPT)
+        encoder = PreemptibleVideoEncoder("enc")
+        start(system, 2, encoder, endpoint="app.enc")
+        client = self.RetryEncodeClient()
+        started = system.start_app(3, client)
+        system.mgmt.grant_send("tile3", "app.enc")
+        system.run_until(started)
+        if inject:
+            system.run(until=system.engine.now + 40_000)
+            encoder.inject_fault_after = 0
+        system.run(until=system.engine.now + 12_000_000)
+        return system, encoder, client
+
+    def test_resumed_context_output_matches_uninterrupted_run(self):
+        _, enc_clean, client_clean = self.run_stream(inject=False)
+        system, enc_fault, client_fault = self.run_stream(inject=True)
+        records = system.fault_manager.records
+        assert records and records[0].action == "context-killed"
+        assert not system.tiles[2].failed
+        assert client_fault.replies == client_clean.replies
+        assert enc_fault.streams["s0"]["last_seq"] \
+            == enc_clean.streams["s0"]["last_seq"] == 9
+
+    def test_externalize_restore_round_trip(self):
+        encoder = PreemptibleVideoEncoder("enc")
+        encoder.streams["s0"] = {"last_seq": 4, "rate_state": 0.7,
+                                 "chunks": 5}
+        snapshot = encoder.externalize_state()
+        fresh = PreemptibleVideoEncoder("enc2")
+        fresh.restore_state(snapshot)
+        assert fresh.streams == encoder.streams
+        # the saved copy is deep enough that later mutation doesn't leak
+        encoder.streams["s0"]["chunks"] = 99
+        assert fresh.streams["s0"]["chunks"] == 5
