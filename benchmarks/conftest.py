@@ -9,7 +9,16 @@ from repro.eval import report
 def pytest_sessionstart(session):
     results_dir = os.path.abspath(report.RESULTS_DIR)
     if os.path.isdir(results_dir):
-        shutil.rmtree(results_dir)
+        for entry in os.listdir(results_dir):
+            if entry.endswith("_floor.json"):
+                # perf floors are committed *inputs* to the perf-smoke
+                # benchmarks, not outputs of this session
+                continue
+            path = os.path.join(results_dir, entry)
+            if os.path.isdir(path):
+                shutil.rmtree(path)
+            else:
+                os.remove(path)
     report.clear()
 
 

@@ -96,6 +96,12 @@ class Monitor:
         self.messages_received = 0
         self.denials = 0
         self.nacks_sent = 0
+        # per-message stat handles, resolved once at construction — the
+        # egress/ingress loops run per message and must not pay a
+        # string-keyed (or f-string-building) registry lookup each time
+        self._ctr_denials = self.stats.counter(f"{tile_name}.denials")
+        self._ctr_sent = self.stats.counter("monitor.messages_sent")
+        self._ctr_received = self.stats.counter("monitor.messages_received")
         #: sliding-window traffic meters — the "debugging and tracing
         #: support at the message passing layer" the design goals promise
         self.tx_meter = RateMeter(window_cycles=10_000, buckets=10)
@@ -185,7 +191,7 @@ class Monitor:
             except (AccessDenied, CapabilityError, ServiceUnavailable,
                     ProtocolError, SegmentFault) as err:
                 self.denials += 1
-                self.stats.counter(f"{self.tile_name}.denials").inc()
+                self._ctr_denials.inc()
                 self.tracer.emit(self.engine.now, "monitor.deny",
                                  self.tile_name, dst=msg.dst, op=msg.op,
                                  reason=type(err).__name__)
@@ -209,7 +215,7 @@ class Monitor:
             )
             self.messages_sent += 1
             self.tx_meter.record(self.engine.now, size_flits)
-            self.stats.counter("monitor.messages_sent").inc()
+            self._ctr_sent.inc()
             done.succeed(msg)
 
     def _check_egress(self, msg: Message) -> int:
@@ -259,7 +265,7 @@ class Monitor:
                 continue
             self.messages_received += 1
             self.rx_meter.record(self.engine.now)
-            self.stats.counter("monitor.messages_received").inc()
+            self._ctr_received.inc()
             if self.deliver is not None:
                 self.deliver(msg)
 

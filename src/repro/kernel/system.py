@@ -81,6 +81,7 @@ class ApiarySystem:
         mac_addr: str = "fpga0",
         net_tile: int = 1,
         monitor_cap_slots: int = 64,
+        router_cls: Optional[type] = None,
     ):
         self.engine = engine or Engine()
         self.rng = RngPool(seed=seed)
@@ -89,12 +90,14 @@ class ApiarySystem:
         self.part: FpgaPart = lookup_part(part_name)
         self.topo = Mesh2D(width, height)
         self.enforce = enforce
+        network_kwargs = {} if router_cls is None else {"router_cls": router_cls}
         self.network = Network(
             self.engine, self.topo,
             num_vcs=num_vcs, vc_classes=vc_classes,
             buffer_depth=buffer_depth, hop_latency=hop_latency,
             flit_bytes=noc_flit_bytes,
             stats=self.stats, tracer=self.tracer,
+            **network_kwargs,
         )
         self.caps = CapabilityStore(slots_per_holder=monitor_cap_slots)
         self.segments = SegmentTable()

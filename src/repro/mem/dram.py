@@ -102,6 +102,13 @@ class DramChannel:
         self.timing = timing
         self.row_bytes = row_bytes
         self.name = name
+        # row-state -> latency, resolved once: the access loop previously
+        # paid a getattr(timing, f"row_{kind}") string build per access
+        self._row_latency = {
+            "hit": timing.row_hit,
+            "miss": timing.row_miss,
+            "conflict": timing.row_conflict,
+        }
         self.banks = [DramBank() for _ in range(banks)]
         self.bus = Resource(engine, slots=1, name=f"{name}.bus")
         self.bytes_moved = 0
@@ -139,8 +146,7 @@ class DramChannel:
             row_offset = cursor % self.row_bytes
             chunk = min(remaining, self.row_bytes - row_offset)
             kind = bank.touch(row)
-            row_latency = getattr(self.timing, f"row_{kind}")
-            yield row_latency
+            yield self._row_latency[kind]
             bursts = (chunk + self.timing.burst_bytes - 1) // self.timing.burst_bytes
             grant = yield self.bus.acquire()
             yield bursts * self.timing.burst_cycles

@@ -44,6 +44,27 @@ class RoundRobinArbiter:
                 return idx
         return None
 
+    def pick_first(self, requesters: Sequence[T]) -> Optional[T]:
+        """Grant among sparse requesters (slot-sorted tuples, slot at [0]).
+
+        Same rotating-priority policy as :meth:`pick` without materialising
+        a dense request-line list: the winner is the first requester whose
+        slot is at-or-after the pointer, wrapping to the lowest slot.  The
+        router hot path hands us its (slot, ...) tuples directly.
+        """
+        if not requesters:
+            return None
+        chosen = None
+        pointer = self._pointer
+        for item in requesters:
+            if item[0] >= pointer:  # type: ignore[index]
+                chosen = item
+                break
+        if chosen is None:
+            chosen = requesters[0]
+        self._pointer = (chosen[0] + 1) % self.slots  # type: ignore[index]
+        return chosen
+
 
 class PriorityArbiter:
     """Fixed-priority arbiter: lowest index wins.  Used for escape VCs."""

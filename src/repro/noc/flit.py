@@ -102,14 +102,14 @@ class Flit:
     seq: int
     #: virtual channel assigned on the link the flit currently occupies
     vc: int = 0
+    #: head/tail flags, precomputed once — routers consult these per flit
+    #: per hop, and a property call there is measurable at flood rates
+    is_head: bool = field(init=False)
+    is_tail: bool = field(init=False)
 
-    @property
-    def is_head(self) -> bool:
-        return self.kind in (FlitKind.HEAD, FlitKind.HEADTAIL)
-
-    @property
-    def is_tail(self) -> bool:
-        return self.kind in (FlitKind.TAIL, FlitKind.HEADTAIL)
+    def __post_init__(self) -> None:
+        self.is_head = self.kind in (FlitKind.HEAD, FlitKind.HEADTAIL)
+        self.is_tail = self.kind in (FlitKind.TAIL, FlitKind.HEADTAIL)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

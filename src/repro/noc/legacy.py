@@ -1,0 +1,172 @@
+"""Frozen pre-optimization router — the P1 benchmark baseline.
+
+:class:`LegacyRouter` pins the switch-allocation hot path exactly as it
+stood before the simulator performance overhaul: full input-buffer scans to
+answer "any work?", dense request-line lists rebuilt per output port per
+pass, ``list.index`` slot arithmetic, per-call routing-function invocation
+(no candidate memoization), per-class VC lists rebuilt on every head flit,
+and a closure minted per returned credit.
+
+The P1 benchmark (``benchmarks/test_bench_simspeed.py``) runs the same
+workload on (:class:`~repro.sim.legacy.LegacyEngine` + ``LegacyRouter``)
+and on the current fast path in the same process, so the reported speedup
+is measured, not remembered.  Keep this file frozen; it must keep producing
+byte-identical simulation results to the optimized router.
+
+Lives in ``noc.legacy`` (not ``sim.legacy``) because importing the router
+from ``sim`` would create an import cycle: ``noc.router`` imports ``sim``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc.flit import Flit
+from repro.noc.router import Router
+from repro.noc.routing import TorusXYRouting
+from repro.noc.topology import Port
+
+__all__ = ["LegacyRouter"]
+
+
+class LegacyRouter(Router):
+    """The pre-overhaul router datapath, preserved verbatim."""
+
+    def occupancy(self) -> int:
+        return sum(
+            len(ivc.buffer) for vcs in self._in.values() for ivc in vcs
+        )
+
+    def allowed_vcs(self, vc_class: int) -> List[int]:
+        cls = min(vc_class, self.vc_classes - 1)
+        return [v for v in range(self.num_vcs) if v % self.vc_classes == cls]
+
+    def _has_buffered_flits(self) -> bool:
+        for vcs in self._in.values():
+            for ivc in vcs:
+                if ivc.buffer:
+                    return True
+        return False
+
+    def _allocation_pass(self) -> int:
+        moved = 0
+        used_inputs: set = set()
+        for out_port in self.ports:
+            out = self._out[out_port]
+            if out.deliver is None:
+                continue
+            requesters = self._requesters(out_port, used_inputs)
+            request_lines = [False] * (len(self.ports) * self.num_vcs)
+            by_slot: Dict[int, Tuple[Port, int, int]] = {}
+            for in_port, vc, out_vc in requesters:
+                slot = self.ports.index(in_port) * self.num_vcs + vc
+                request_lines[slot] = True
+                by_slot[slot] = (in_port, vc, out_vc)
+            winner = out.arbiter.pick(request_lines)
+            if winner is None:
+                continue
+            in_port, vc, out_vc = by_slot[winner]
+            self._forward(in_port, vc, out_port, out_vc)
+            used_inputs.add(in_port)
+            moved += 1
+        return moved
+
+    def _requesters(  # type: ignore[override]
+        self, out_port: Port, used_inputs: set
+    ) -> List[Tuple[Port, int, int]]:
+        out = self._out[out_port]
+        found: List[Tuple[Port, int, int]] = []
+        for in_port in self.ports:
+            if in_port in used_inputs:
+                continue
+            for vc, ivc in enumerate(self._in[in_port]):
+                if not ivc.buffer:
+                    continue
+                flit = ivc.buffer[0]
+                if flit.is_head and ivc.out_port is None:
+                    choice = self._route_and_allocate(in_port, vc, flit)
+                    if choice is None:
+                        continue
+                    port_choice, out_vc = choice
+                    if port_choice != out_port:
+                        continue
+                    found.append((in_port, vc, out_vc))
+                else:
+                    if ivc.out_port != out_port or ivc.out_vc is None:
+                        continue
+                    if out.credits[ivc.out_vc] <= 0:
+                        continue
+                    found.append((in_port, vc, ivc.out_vc))
+        return found
+
+    def _route_and_allocate(
+        self, in_port: Port, vc: int, flit: Flit
+    ) -> Optional[Tuple[Port, int]]:
+        pkt = flit.packet
+        if self._adaptive and vc == 0:
+            candidates = self.routing.escape_candidates(  # type: ignore[attr-defined]
+                self.topo, self.node, pkt.dst
+            )
+        else:
+            candidates = self.routing.candidates(self.topo, self.node, pkt.dst)
+        if self._dateline:
+            return self._dateline_choice(pkt, candidates[0])
+        allowed = self.allowed_vcs(pkt.vc_class)
+        best: Optional[Tuple[Port, int]] = None
+        best_credits = -1
+        for port_choice in candidates:
+            out = self._out[port_choice]
+            if out.deliver is None:
+                continue
+            for out_vc in allowed:
+                if self._adaptive and out_vc == 0 and port_choice != candidates[0]:
+                    continue
+                if out.vc_owner[out_vc] is not None:
+                    continue
+                if out.credits[out_vc] <= 0:
+                    continue
+                if out.credits[out_vc] > best_credits:
+                    best = (port_choice, out_vc)
+                    best_credits = out.credits[out_vc]
+            if best is not None and not self._adaptive:
+                break
+        return best
+
+    def _forward(self, in_port: Port, vc: int, out_port: Port, out_vc: int) -> None:
+        ivc = self._in[in_port][vc]
+        flit = ivc.buffer.popleft()
+        self._buffered -= 1
+        out = self._out[out_port]
+
+        if flit.is_head:
+            ivc.out_port = out_port
+            ivc.out_vc = out_vc
+            ivc.active_pid = flit.packet.pid
+            out.vc_owner[out_vc] = flit.packet.pid
+        flit.vc = out_vc
+        out.credits[out_vc] -= 1
+        out.flits_sent += 1
+        self.flits_forwarded += 1
+        if flit.is_head and out_port != Port.LOCAL:
+            flit.packet.hops += 1
+            if self._dateline:
+                pkt = flit.packet
+                dim = TorusXYRouting.dimension(out_port)
+                if dim != pkt.dateline_dim:
+                    pkt.dateline_dim = dim
+                    pkt.dateline_vc = 0
+                if TorusXYRouting.crosses_wrap(self.topo, self.node, out_port):
+                    pkt.dateline_vc = 1
+
+        if flit.is_tail:
+            out.vc_owner[out_vc] = None
+            ivc.reset_route()
+
+        assert out.deliver is not None
+        out.deliver(flit)
+
+        credit_fn = self._credit_return[in_port]
+        if credit_fn is not None:
+            self.engine.schedule(self.credit_latency, lambda _: credit_fn(vc))
+
+        self._wake_up()

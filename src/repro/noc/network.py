@@ -12,6 +12,7 @@ experiments (D5) exercise.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.errors import ConfigError, RouteError
@@ -52,6 +53,9 @@ class NetworkInterface:
             name=f"{self.name}.inject",
         )
         self._credit_event: Optional[Event] = None
+        #: VC chosen by the current packet's head flit; body/tail flits of
+        #: the same packet must follow it (wormhole continuity)
+        self._current_vc: Optional[int] = None
 
         # ejection side: reassembly and delivery
         self._eject_buffer: Deque[Flit] = deque()
@@ -147,7 +151,7 @@ class NetworkInterface:
             pkt, done = yield self._inject_queue.get()
             if self.engine.now < self.drop_until:
                 self.packets_dropped += 1
-                self.network.stats.counter("noc.packets_dropped").inc()
+                self.network._ctr_dropped.inc()
                 done.succeed(pkt)  # sender saw a clean injection; data is gone
                 continue
             pkt.injected_at = self.engine.now
@@ -165,7 +169,7 @@ class NetworkInterface:
                 router.accept_flit(Port.LOCAL, flit)
                 yield 1
             self.packets_sent += 1
-            self.network.stats.counter("noc.packets_injected").inc()
+            self.network._ctr_injected.inc()
             done.succeed(pkt)
 
     def _pick_credit_vc(self, vcs: List[int], flit: Flit) -> Optional[int]:
@@ -184,7 +188,7 @@ class NetworkInterface:
                     best, best_credits = vc, self._inject_credits[vc]
             self._current_vc = best
             return best
-        vc = getattr(self, "_current_vc", None)
+        vc = self._current_vc
         if vc is not None and self._inject_credits[vc] > 0:
             return vc
         return None
@@ -237,6 +241,9 @@ class Network:
     hop_latency: cycles from leaving a router to arriving at the next
         (router pipeline + wire).
     credit_latency: cycles for a credit to return upstream.
+    router_cls: router implementation to instantiate per node; the P1
+        benchmark passes :class:`repro.noc.legacy.LegacyRouter` to measure
+        against the frozen pre-optimization datapath.
     """
 
     def __init__(
@@ -254,6 +261,7 @@ class Network:
         delivery_queue_depth: int = 16,
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        router_cls: type = Router,
     ):
         from repro.noc.routing import MinimalAdaptiveRouting, TorusXYRouting
 
@@ -283,6 +291,13 @@ class Network:
         self.delivery_queue_depth = delivery_queue_depth
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        # hot-path stat handles, resolved once: the per-packet loops must
+        # not pay a string-keyed registry lookup per event
+        self._ctr_injected = self.stats.counter("noc.packets_injected")
+        self._ctr_delivered = self.stats.counter("noc.packets_delivered")
+        self._ctr_dropped = self.stats.counter("noc.packets_dropped")
+        self._hist_latency = self.stats.histogram("noc.packet_latency")
+        self._hist_hops = self.stats.histogram("noc.packet_hops")
         self._next_pid = 0
         # fault injection: (src, port) -> (extra hop latency, expires at).
         # _link_last_arrival keeps per-link delivery monotone so a window
@@ -292,7 +307,7 @@ class Network:
         self._link_last_arrival: Dict[Any, int] = {}
 
         self._routers: List[Router] = [
-            Router(
+            router_cls(
                 engine, node, topo, routing,
                 num_vcs=num_vcs, vc_classes=vc_classes,
                 buffer_depth=buffer_depth, credit_latency=credit_latency,
@@ -312,19 +327,19 @@ class Network:
             dst_router = self._routers[dst]
             in_port = port.opposite
 
-            def deliver(flit: Flit, _dst=dst_router, _p=in_port,
-                        _key=(src, port)) -> None:
+            # the arrival/credit callbacks are built once per link (C-level
+            # partials) and handed the flit/vc as the schedule arg — per-flit
+            # lambdas were measurable allocation churn at flood rates
+            arrive = partial(dst_router.accept_flit, in_port)
+
+            def deliver(flit: Flit, _key=(src, port), _arrive=arrive) -> None:
                 delay = self.hop_latency + self._link_extra(_key)
                 arrival = max(self.engine.now + delay,
                               self._link_last_arrival.get(_key, 0))
                 self._link_last_arrival[_key] = arrival
-                self.engine.schedule(
-                    arrival - self.engine.now,
-                    lambda _: _dst.accept_flit(_p, flit),
-                )
+                self.engine.schedule(arrival - self.engine.now, _arrive, flit)
 
-            def credit(vc: int, _src=src_router, _p=port) -> None:
-                _src.credit_arrived(_p, vc)
+            credit = partial(src_router.credit_arrived, port)
 
             src_router.connect_output(port, deliver, credit)
             dst_router.connect_input_credit(in_port, credit)
@@ -334,9 +349,7 @@ class Network:
             ni = self._interfaces[node]
 
             def deliver_local(flit: Flit, _ni=ni) -> None:
-                self.engine.schedule(
-                    self.hop_latency, lambda _: _ni._accept_flit(flit)
-                )
+                self.engine.schedule(self.hop_latency, _ni._accept_flit, flit)
 
             router.connect_output(Port.LOCAL, deliver_local, lambda vc: None)
             router.connect_input_credit(Port.LOCAL, ni._local_credit)
@@ -391,9 +404,9 @@ class Network:
         )
 
     def record_delivery(self, pkt: Packet) -> None:
-        self.stats.counter("noc.packets_delivered").inc()
-        self.stats.histogram("noc.packet_latency").record(pkt.latency)
-        self.stats.histogram("noc.packet_hops").record(pkt.hops)
+        self._ctr_delivered.inc()
+        self._hist_latency.record(pkt.latency)
+        self._hist_hops.record(pkt.hops)
         if self.tracer.enabled:
             self.tracer.emit(
                 self.engine.now, "noc.deliver", f"ni{pkt.dst}",
@@ -404,9 +417,7 @@ class Network:
         return sum(r.flits_forwarded for r in self._routers)
 
     def in_flight_packets(self) -> int:
-        injected = self.stats.counter("noc.packets_injected").value
-        delivered = self.stats.counter("noc.packets_delivered").value
-        return injected - delivered
+        return self._ctr_injected.value - self._ctr_delivered.value
 
     def zero_load_latency(self, src: int, dst: int, size_flits: int = 1) -> int:
         """Analytic lower bound: hops * hop_latency + serialization.

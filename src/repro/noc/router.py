@@ -134,10 +134,28 @@ class Router:
         self._credit_return: Dict[Port, Optional[CreditFn]] = {
             p: None for p in self.ports
         }
+        # hot-path tables, resolved once per router instead of per pass:
+        # arbiter slot base per input port (replaces list.index arithmetic),
+        # the VC set for each traffic class, and memoized routing decisions
+        # (routing functions are pure in (node, dst), so per-destination
+        # candidate lists never change for a given router)
+        self._port_base: Dict[Port, int] = {
+            p: i * num_vcs for i, p in enumerate(self.ports)
+        }
+        self._allowed: List[List[int]] = [
+            [v for v in range(num_vcs) if v % vc_classes == cls]
+            for cls in range(vc_classes)
+        ]
+        self._cand_cache: Dict[int, List[Port]] = {}
+        self._escape_cache: Dict[int, List[Port]] = {}
 
         self._wake = engine.event(f"{self.name}.wake")
         self._awake = False
         self.flits_forwarded = 0
+        #: incrementally maintained count of flits across all input VCs —
+        #: the allocation loop polls "any work?" once per pass, and scanning
+        #: every (port, VC) buffer to answer it dominated the hot path
+        self._buffered = 0
         #: fault injection: allocation is suspended until this cycle.
         #: Buffered flits sit still and credits stop flowing upstream, so
         #: backpressure spreads exactly as a stuck pipeline stage would.
@@ -169,6 +187,7 @@ class Router:
                 "(credit protocol violated)"
             )
         ivc.buffer.append(flit)
+        self._buffered += 1
         self._wake_up()
 
     def credit_arrived(self, port: Port, vc: int) -> None:
@@ -186,14 +205,15 @@ class Router:
     # -- inspection --------------------------------------------------------
 
     def occupancy(self) -> int:
-        return sum(
-            len(ivc.buffer) for vcs in self._in.values() for ivc in vcs
-        )
+        return self._buffered
 
     def allowed_vcs(self, vc_class: int) -> List[int]:
-        """VC indices a traffic class may use (classes partition the VCs)."""
-        cls = min(vc_class, self.vc_classes - 1)
-        return [v for v in range(self.num_vcs) if v % self.vc_classes == cls]
+        """VC indices a traffic class may use (classes partition the VCs).
+
+        Returns a shared per-class list resolved at construction; callers
+        must treat it as read-only.
+        """
+        return self._allowed[min(vc_class, self.vc_classes - 1)]
 
     # -- the router process -------------------------------------------------
 
@@ -230,14 +250,68 @@ class Router:
                 self._wake.succeed(None)
 
     def _has_buffered_flits(self) -> bool:
-        for vcs in self._in.values():
-            for ivc in vcs:
-                if ivc.buffer:
-                    return True
-        return False
+        return self._buffered > 0
 
     def _allocation_pass(self) -> int:
-        """One switch-allocation cycle; returns the number of flits moved."""
+        """One switch-allocation cycle; returns the number of flits moved.
+
+        Deterministic routing (XY/YX/dateline) yields a single candidate
+        port, so an input VC's request — its (output port, output VC) pair —
+        cannot be altered by grants on *other* output ports within the pass:
+        a grant only mutates state on its own output port and on an input
+        that is then excluded anyway.  That lets us scan the input buffers
+        once, bucket requests by output port, and arbitrate each port from
+        its bucket — identical grants to the per-port rescan at a fraction
+        of the scanning work.  Adaptive routing credit-balances across
+        candidate ports mid-pass, so it keeps the faithful rescan.
+        """
+        if self._adaptive:
+            return self._allocation_pass_rescan()
+        buckets: Dict[Port, List[Tuple[int, Port, int, int]]] = {}
+        for in_port in self.ports:
+            base = self._port_base[in_port]
+            for vc, ivc in enumerate(self._in[in_port]):
+                if not ivc.buffer:
+                    continue
+                flit = ivc.buffer[0]
+                if flit.is_head and ivc.out_port is None:
+                    choice = self._route_and_allocate(in_port, vc, flit)
+                    if choice is None:
+                        continue
+                    port_choice, out_vc = choice
+                else:
+                    port_choice = ivc.out_port
+                    out_vc = ivc.out_vc
+                    if port_choice is None or out_vc is None:
+                        continue
+                    if self._out[port_choice].credits[out_vc] <= 0:
+                        continue
+                bucket = buckets.get(port_choice)
+                if bucket is None:
+                    bucket = buckets[port_choice] = []
+                bucket.append((base + vc, in_port, vc, out_vc))
+        moved = 0
+        used_inputs: set = set()
+        for out_port in self.ports:
+            bucket = buckets.get(out_port)
+            if not bucket:
+                continue
+            out = self._out[out_port]
+            if out.deliver is None:
+                continue
+            if used_inputs:
+                # crossbar constraint: one flit per input port per cycle
+                bucket = [r for r in bucket if r[1] not in used_inputs]
+                if not bucket:
+                    continue
+            _slot, in_port, vc, out_vc = out.arbiter.pick_first(bucket)
+            self._forward(in_port, vc, out_port, out_vc)
+            used_inputs.add(in_port)
+            moved += 1
+        return moved
+
+    def _allocation_pass_rescan(self) -> int:
+        """Per-output-port rescan allocation (required for adaptive routing)."""
         moved = 0
         used_inputs: set = set()
         for out_port in self.ports:
@@ -245,16 +319,11 @@ class Router:
             if out.deliver is None:
                 continue
             requesters = self._requesters(out_port, used_inputs)
-            request_lines = [False] * (len(self.ports) * self.num_vcs)
-            by_slot: Dict[int, Tuple[Port, int, int]] = {}
-            for in_port, vc, out_vc in requesters:
-                slot = self.ports.index(in_port) * self.num_vcs + vc
-                request_lines[slot] = True
-                by_slot[slot] = (in_port, vc, out_vc)
-            winner = out.arbiter.pick(request_lines)
-            if winner is None:
+            if not requesters:
+                # same as the arbiter seeing all-zero request lines: no
+                # grant, pointer stays put
                 continue
-            in_port, vc, out_vc = by_slot[winner]
+            _slot, in_port, vc, out_vc = out.arbiter.pick_first(requesters)
             self._forward(in_port, vc, out_port, out_vc)
             used_inputs.add(in_port)
             moved += 1
@@ -262,16 +331,20 @@ class Router:
 
     def _requesters(
         self, out_port: Port, used_inputs: set
-    ) -> List[Tuple[Port, int, int]]:
+    ) -> List[Tuple[int, Port, int, int]]:
         """Input VCs that can send a flit to ``out_port`` this cycle.
 
-        Returns ``(in_port, in_vc, out_vc)`` triples.
+        Returns ``(arbiter_slot, in_port, in_vc, out_vc)`` tuples in
+        ascending slot order (ports and VCs are walked in slot order), ready
+        for :meth:`RoundRobinArbiter.pick_first`.
         """
         out = self._out[out_port]
-        found: List[Tuple[Port, int, int]] = []
+        credits = out.credits
+        found: List[Tuple[int, Port, int, int]] = []
         for in_port in self.ports:
             if in_port in used_inputs:
                 continue
+            base = self._port_base[in_port]
             for vc, ivc in enumerate(self._in[in_port]):
                 if not ivc.buffer:
                     continue
@@ -283,13 +356,13 @@ class Router:
                     port_choice, out_vc = choice
                     if port_choice != out_port:
                         continue
-                    found.append((in_port, vc, out_vc))
+                    found.append((base + vc, in_port, vc, out_vc))
                 else:
                     if ivc.out_port != out_port or ivc.out_vc is None:
                         continue
-                    if out.credits[ivc.out_vc] <= 0:
+                    if credits[ivc.out_vc] <= 0:
                         continue
-                    found.append((in_port, vc, ivc.out_vc))
+                    found.append((base + vc, in_port, vc, ivc.out_vc))
         return found
 
     def _route_and_allocate(
@@ -301,15 +374,23 @@ class Router:
         allocation (``_forward`` re-runs this and commits).
         """
         pkt = flit.packet
+        # routing functions are pure in (node, dst): memoize per destination
         if self._adaptive and vc == 0:
-            candidates = self.routing.escape_candidates(  # type: ignore[attr-defined]
-                self.topo, self.node, pkt.dst
-            )
+            candidates = self._escape_cache.get(pkt.dst)
+            if candidates is None:
+                candidates = self.routing.escape_candidates(  # type: ignore[attr-defined]
+                    self.topo, self.node, pkt.dst
+                )
+                self._escape_cache[pkt.dst] = candidates
         else:
-            candidates = self.routing.candidates(self.topo, self.node, pkt.dst)
+            candidates = self._cand_cache.get(pkt.dst)
+            if candidates is None:
+                candidates = self.routing.candidates(self.topo, self.node, pkt.dst)
+                self._cand_cache[pkt.dst] = candidates
         if self._dateline:
             return self._dateline_choice(pkt, candidates[0])
-        allowed = self.allowed_vcs(pkt.vc_class)
+        cls = pkt.vc_class
+        allowed = self._allowed[cls] if cls < self.vc_classes else self._allowed[-1]
         best: Optional[Tuple[Port, int]] = None
         best_credits = -1
         for port_choice in candidates:
@@ -356,6 +437,7 @@ class Router:
     def _forward(self, in_port: Port, vc: int, out_port: Port, out_vc: int) -> None:
         ivc = self._in[in_port][vc]
         flit = ivc.buffer.popleft()
+        self._buffered -= 1
         out = self._out[out_port]
 
         if flit.is_head:
@@ -386,9 +468,10 @@ class Router:
         out.deliver(flit)
 
         # A buffer slot on our input just freed: return a credit upstream.
+        # CreditFn takes the vc directly, so no closure needs minting here.
         credit_fn = self._credit_return[in_port]
         if credit_fn is not None:
-            self.engine.schedule(self.credit_latency, lambda _: credit_fn(vc))
+            self.engine.schedule(self.credit_latency, credit_fn, vc)
 
         # More flits may now be movable next cycle.
         self._wake_up()

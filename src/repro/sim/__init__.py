@@ -9,6 +9,7 @@ observation, and the measurement primitives in :mod:`repro.sim.stats`.
 
 from repro.sim.channel import Channel, ChannelClosed
 from repro.sim.engine import Engine, Event, Interrupt, Process
+from repro.sim.legacy import LegacyEngine
 from repro.sim.resource import Grant, Resource
 from repro.sim.rng import RngPool
 from repro.sim.stats import Counter, Gauge, Histogram, StatsRegistry, TimeWeighted
@@ -16,6 +17,7 @@ from repro.sim.trace import TraceRecord, Tracer
 
 __all__ = [
     "Engine",
+    "LegacyEngine",
     "Event",
     "Process",
     "Interrupt",

@@ -50,6 +50,10 @@ class Channel:
         getters — models wire/FIFO propagation delay.
     """
 
+    __slots__ = ("engine", "capacity", "name", "latency", "_items",
+                 "_in_flight", "_getters", "_putters", "_closed",
+                 "total_put", "total_got", "high_watermark")
+
     def __init__(
         self,
         engine: Engine,

@@ -3,9 +3,19 @@
 The engine is the clock of the whole reproduction: NoC routers, Apiary
 monitors, DRAM channels and accelerators are all coroutine *processes*
 scheduled on one integer cycle counter.  The design is deliberately small —
-a binary heap of ``(time, sequence, callback)`` entries — because everything
-else (channels, processes, resources) is built from the two primitives
-defined here: scheduled callbacks and one-shot :class:`Event` objects.
+a binary heap of ``(time, sequence, callback)`` entries plus a same-cycle
+FIFO ring — because everything else (channels, processes, resources) is
+built from the two primitives defined here: scheduled callbacks and
+one-shot :class:`Event` objects.
+
+Performance structure (see DESIGN.md, "Simulator performance"): the hot
+path is deliberately allocation-free.  ``delay == 0`` callbacks — the
+dominant case, produced by every event trigger — bypass the heap entirely
+via a FIFO ring, and integer-delay yields from processes schedule the
+process's resume hook directly instead of minting a throwaway
+:class:`Event` per ``yield n``.  Both fast paths preserve the engine's
+ordering contract exactly: callbacks at the same cycle run in the order
+they were scheduled, and the clock is monotone.
 
 Example
 -------
@@ -23,11 +33,16 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 __all__ = ["Engine", "Event", "Process", "Interrupt"]
+
+#: Sentinel marking "this process is waiting on a bare engine timer", the
+#: zero-allocation replacement for the per-yield delay Event.
+_TIMER = object()
 
 
 class Interrupt(Exception):
@@ -101,6 +116,13 @@ class Event:
         else:
             self._callbacks.append(cb)
 
+    def remove_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Detach ``cb`` if still registered (no-op once triggered)."""
+        try:
+            self._callbacks.remove(cb)
+        except ValueError:
+            pass
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self._triggered else "pending"
         return f"<Event {self.name!r} {state}>"
@@ -120,9 +142,14 @@ class Process:
 
     A process is itself an :class:`Event` source: :attr:`done` triggers with
     the generator's return value (or failure) when it exits.
+
+    Integer yields take the zero-allocation path: the engine schedules
+    :meth:`_timer_fired` directly, tagged with a wait epoch so a stale timer
+    left behind by an interrupt can never double-resume the generator.
     """
 
-    __slots__ = ("engine", "generator", "name", "done", "_alive", "_waiting_on")
+    __slots__ = ("engine", "generator", "name", "done", "_alive",
+                 "_waiting_on", "_wait_epoch")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -134,7 +161,8 @@ class Process:
         self.name = name or getattr(generator, "__name__", "proc")
         self.done = Event(engine, name=f"{self.name}.done")
         self._alive = True
-        self._waiting_on: Optional[Event] = None
+        self._waiting_on: Optional[Any] = None
+        self._wait_epoch = 0
         engine.schedule(0, self._resume, None)
 
     @property
@@ -184,6 +212,28 @@ class Process:
             return
         self._dispatch(command)
 
+    def _timer_fired(self, epoch: int) -> None:
+        """First hop of the zero-allocation integer-delay path.
+
+        Bounces once through the same-cycle ring before resuming, exactly as
+        the Event-based path did (``done.succeed`` then a 0-delay callback):
+        same-cycle interleaving with other callbacks is therefore identical
+        to the pre-overhaul engine.  A stale entry (the process was
+        interrupted and re-armed) carries an old epoch and is ignored.
+        """
+        if (epoch != self._wait_epoch or self._waiting_on is not _TIMER
+                or not self._alive):
+            return
+        self.engine.schedule(0, self._timer_resume, epoch)
+
+    def _timer_resume(self, epoch: int) -> None:
+        """Second hop: actually resume the generator, unless gone stale."""
+        if (epoch != self._wait_epoch or self._waiting_on is not _TIMER
+                or not self._alive):
+            return
+        self._waiting_on = None
+        self._resume(None)
+
     def _dispatch(self, command: Any) -> None:
         if command is None:
             command = 0
@@ -193,6 +243,12 @@ class Process:
                     None, SimulationError(f"{self.name}: negative delay {command}")
                 )
                 return
+            if self.engine.fast_timers:
+                self._wait_epoch += 1
+                self._waiting_on = _TIMER
+                self.engine.schedule(command, self._timer_fired, self._wait_epoch)
+                return
+            # pinned slow path (LegacyEngine): a throwaway Event per yield
             done = Event(self.engine, name=f"{self.name}.delay")
             self.engine.schedule(command, done.succeed, None)
             command = done
@@ -213,7 +269,13 @@ class Process:
     def _detach_wait(self) -> None:
         waiting = self._waiting_on
         self._waiting_on = None
-        if waiting is not None and not waiting.triggered:
+        if waiting is None:
+            return
+        if waiting is _TIMER:
+            # the scheduled _timer_fired entry goes stale; bumping the epoch
+            # turns it into a no-op without touching the heap
+            self._wait_epoch += 1
+        elif not waiting.triggered:
             try:
                 waiting._callbacks.remove(self._resume)
             except ValueError:
@@ -237,6 +299,21 @@ class Process:
 class Engine:
     """The simulation clock and event queue.
 
+    Two scheduling structures back :meth:`schedule`:
+
+    * a binary heap of ``(time, sequence, callback, arg)`` for future
+      cycles (``delay > 0``), and
+    * a plain FIFO ring for same-cycle callbacks (``delay == 0``), which
+      every :class:`Event` trigger produces — appending to a deque is far
+      cheaper than a heap push and keeps insertion order by construction.
+
+    Ordering invariant: within one cycle, heap entries (scheduled in
+    *earlier* cycles, hence with lower sequence numbers) drain before ring
+    entries (scheduled *during* the cycle), and the ring preserves FIFO
+    order.  This reproduces exactly the global sequence-number order the
+    heap-only engine had, so simulations are bit-for-bit deterministic
+    across both scheduling paths.
+
     Parameters
     ----------
     swallow_orphan_errors:
@@ -246,10 +323,19 @@ class Engine:
         through the Apiary fault-handling path instead.
     """
 
+    __slots__ = ("now", "swallow_orphan_errors", "_queue", "_ring", "_seq",
+                 "_crashed", "_crash_source", "_running", "process_count")
+
+    #: Class flag consumed by :meth:`Process._dispatch`: ``True`` enables the
+    #: zero-allocation integer-delay path.  The pinned pre-overhaul shim
+    #: (:class:`repro.sim.legacy.LegacyEngine`) overrides this to ``False``.
+    fast_timers = True
+
     def __init__(self, swallow_orphan_errors: bool = False):
         self.now = 0
         self.swallow_orphan_errors = swallow_orphan_errors
         self._queue: List[Tuple[int, int, Callable, Any]] = []
+        self._ring: Deque[Tuple[Callable, Any]] = deque()
         self._seq = 0
         self._crashed: Optional[BaseException] = None
         self._crash_source = ""
@@ -260,6 +346,9 @@ class Engine:
 
     def schedule(self, delay: int, callback: Callable, arg: Any = None) -> None:
         """Run ``callback(arg)`` after ``delay`` cycles (0 = this cycle)."""
+        if delay == 0:
+            self._ring.append((callback, arg))
+            return
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
@@ -283,39 +372,57 @@ class Engine:
 
         The value is the ``(index, value)`` pair of the winner.  A failed
         constituent fails the combined event.
+
+        Losing constituents are detached when the winner triggers: a
+        long-lived pending event (a recovery watchdog, a shutdown signal)
+        raced against thousands of short timeouts must not accumulate one
+        dead callback per race.
         """
         if not events:
             raise SimulationError("any_of needs at least one event")
         combined = Event(self, name="any_of")
+        hooks: List[Callable[[Event], None]] = []
 
         def on_trigger(index: int, ev: Event) -> None:
             if combined.triggered:
                 return
+            # detach the losers' callbacks so pending constituents do not
+            # pin this combined event (and everything it closes over) alive
+            for other, hook in zip(events, hooks):
+                if other is not ev and not other._triggered:
+                    other.remove_callback(hook)
             if ev.failed:
                 combined.fail(ev.value)
             else:
                 combined.succeed((index, ev.value))
 
         for i, ev in enumerate(events):
-            ev.add_callback(lambda e, i=i: on_trigger(i, e))
+            hook = lambda e, i=i: on_trigger(i, e)  # noqa: E731
+            hooks.append(hook)
+            ev.add_callback(hook)
         return combined
 
     def all_of(self, events: List[Event]) -> Event:
         """An event that succeeds when *all* of ``events`` have triggered.
 
         The value is the list of constituent values in order.  The first
-        failure fails the combined event immediately.
+        failure fails the combined event immediately (remaining pending
+        constituents are detached, mirroring :meth:`any_of`).
         """
         if not events:
             raise SimulationError("all_of needs at least one event")
         combined = Event(self, name="all_of")
         remaining = {"count": len(events)}
         values: List[Any] = [None] * len(events)
+        hooks: List[Callable[[Event], None]] = []
 
         def on_trigger(index: int, ev: Event) -> None:
             if combined.triggered:
                 return
             if ev.failed:
+                for other, hook in zip(events, hooks):
+                    if other is not ev and not other._triggered:
+                        other.remove_callback(hook)
                 combined.fail(ev.value)
                 return
             values[index] = ev.value
@@ -324,7 +431,9 @@ class Engine:
                 combined.succeed(values)
 
         for i, ev in enumerate(events):
-            ev.add_callback(lambda e, i=i: on_trigger(i, e))
+            hook = lambda e, i=i: on_trigger(i, e)  # noqa: E731
+            hooks.append(hook)
+            ev.add_callback(hook)
         return combined
 
     # -- execution -------------------------------------------------------
@@ -339,14 +448,36 @@ class Engine:
         if self._running:
             raise SimulationError("Engine.run re-entered")
         self._running = True
+        # local bindings: every name in the loop body resolves without a
+        # dict lookup — this loop runs once per simulated callback
+        queue = self._queue
+        ring = self._ring
+        heappop = heapq.heappop
+        ring_popleft = ring.popleft
+        bounded = until is not None
         try:
-            while self._queue:
-                time, _seq, callback, arg = self._queue[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(self._queue)
-                self.now = time
-                callback(arg)
+            while queue or ring:
+                if ring:
+                    # heap entries stamped for the current cycle were
+                    # scheduled in earlier cycles (lower seq): drain them
+                    # before this cycle's same-cycle ring entries
+                    if queue and queue[0][0] <= self.now:
+                        time, _seq, callback, arg = heappop(queue)
+                        self.now = time
+                        callback(arg)
+                    else:
+                        if bounded and self.now > until:
+                            break
+                        callback, arg = ring_popleft()
+                        callback(arg)
+                else:
+                    entry = queue[0]
+                    time = entry[0]
+                    if bounded and time > until:
+                        break
+                    heappop(queue)
+                    self.now = time
+                    entry[2](entry[3])
                 if self._crashed is not None:
                     exc = self._crashed
                     self._crashed = None
@@ -354,7 +485,7 @@ class Engine:
                         f"unhandled error in process {self._crash_source!r} "
                         f"at cycle {self.now}"
                     ) from exc
-            if until is not None and self.now < until:
+            if bounded and self.now < until:
                 self.now = until
         finally:
             self._running = False
@@ -369,13 +500,13 @@ class Engine:
         event.add_callback(lambda _e: None)
         deadline = self.now + limit
         while not event.triggered:
-            if not self._queue:
+            if not self._queue and not self._ring:
                 raise SimulationError(
                     f"queue drained at cycle {self.now} before {event!r} triggered"
                 )
             if self.now > deadline:
                 raise SimulationError(f"event {event!r} not triggered within {limit}")
-            self.run(until=self._queue[0][0])
+            self.run(until=self._queue[0][0] if self._queue else self.now)
         if event.failed:
             raise event.value
         return event.value
@@ -385,7 +516,7 @@ class Engine:
         self._crash_source = source
 
     def pending_events(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + len(self._ring)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Engine t={self.now} queued={len(self._queue)}>"
+        return f"<Engine t={self.now} queued={self.pending_events()}>"

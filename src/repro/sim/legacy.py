@@ -1,0 +1,68 @@
+"""Pinned pre-overhaul engine: the P1 benchmark's slow-path baseline.
+
+:class:`LegacyEngine` reproduces the engine hot path exactly as it was
+before the simulator-performance overhaul (PR 2):
+
+* every ``schedule`` — including ``delay == 0`` — goes through the binary
+  heap with a ``(time, sequence)`` key; there is no same-cycle ring;
+* processes yielding an integer mint a throwaway :class:`~repro.sim.engine.
+  Event` per ``yield n`` (``fast_timers = False`` routes
+  ``Process._dispatch`` onto the old allocation-heavy path);
+* :meth:`run` is the original heap-only drain loop.
+
+Both engines execute the same simulations with identical results — the P1
+benchmark (``benchmarks/test_bench_simspeed.py``) runs one workload on
+each and reports the wall-clock speedup, so the ≥2× throughput target is
+measured against a stable, in-tree baseline rather than a checked-out old
+commit.  Keep this class frozen: changing it moves the goalposts of every
+recorded P1 number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+__all__ = ["LegacyEngine"]
+
+
+class LegacyEngine(Engine):
+    """Heap-only, Event-per-yield engine (the pre-PR-2 hot path)."""
+
+    #: Disable the zero-allocation integer-delay path in Process._dispatch.
+    fast_timers = False
+
+    def schedule(self, delay: int, callback: Callable, arg: Any = None) -> None:
+        """Run ``callback(arg)`` after ``delay`` cycles — always via the heap."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback, arg))
+
+    def run(self, until: Optional[int] = None) -> None:
+        """The original heap-only drain loop (no ring, no local binding)."""
+        if self._running:
+            raise SimulationError("Engine.run re-entered")
+        self._running = True
+        try:
+            while self._queue:
+                time, _seq, callback, arg = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.now = time
+                callback(arg)
+                if self._crashed is not None:
+                    exc = self._crashed
+                    self._crashed = None
+                    raise SimulationError(
+                        f"unhandled error in process {self._crash_source!r} "
+                        f"at cycle {self.now}"
+                    ) from exc
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False

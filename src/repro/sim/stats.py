@@ -20,6 +20,8 @@ __all__ = ["Counter", "Gauge", "Histogram", "TimeWeighted", "StatsRegistry"]
 class Counter:
     """A monotonically increasing count (messages sent, faults contained...)."""
 
+    __slots__ = ("name", "value")
+
     def __init__(self, name: str = ""):
         self.name = name
         self.value = 0
@@ -35,6 +37,8 @@ class Counter:
 
 class Gauge:
     """A value that moves both ways, with min/max tracking."""
+
+    __slots__ = ("name", "value", "min_seen", "max_seen")
 
     def __init__(self, name: str = "", initial: float = 0.0):
         self.name = name
@@ -56,6 +60,8 @@ class Histogram:
 
     Used for every latency distribution in the benchmarks (D1/D2 tails).
     """
+
+    __slots__ = ("name", "_samples")
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -121,6 +127,8 @@ class TimeWeighted:
     Call :meth:`update` whenever the signal changes; the average weights each
     value by how long it was held.
     """
+
+    __slots__ = ("name", "_value", "_last_time", "_weighted_sum", "_start_time")
 
     def __init__(self, name: str = "", initial: float = 0.0, start_time: int = 0):
         self.name = name

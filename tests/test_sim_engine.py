@@ -383,3 +383,109 @@ def test_many_processes_interleave_deterministically():
         (6, "a"),
         (9, "b"),
     ]
+
+
+# -- fast-path equivalence (zero-allocation engine overhaul) ---------------
+
+
+def test_fast_and_legacy_engines_order_identically():
+    """The zero-allocation fast paths (timer resume via the same-cycle ring,
+    heap bypass for 0-delay callbacks) must preserve the exact global
+    callback order of the event-per-yield heap engine — byte-identical
+    simulation results hinge on it."""
+    from repro.sim import LegacyEngine
+
+    def trace(engine_cls):
+        eng = engine_cls()
+        log = []
+
+        def worker(tag, delays):
+            for d in delays:
+                yield d
+                log.append(("worker", tag, eng.now))
+
+        def poker(tag):
+            # mixes raw 0-delay callbacks with timer waits in one process
+            for i in range(5):
+                eng.schedule(0, lambda _, i=i: log.append(("cb", tag, i, eng.now)))
+                yield 2
+
+        shared = eng.event("shared")
+
+        def waiter():
+            value = yield shared
+            log.append(("woke", value, eng.now))
+            yield 0
+            log.append(("woke+ring", eng.now))
+
+        def firer():
+            yield 7
+            shared.succeed("fired")
+            log.append(("firer", eng.now))
+
+        eng.process(worker("a", [3, 0, 0, 2, 1]))
+        eng.process(worker("b", [1, 1, 1, 0, 4]))
+        eng.process(poker("p"))
+        eng.process(waiter())
+        eng.process(firer())
+        eng.run(until=40)
+        return log
+
+    fast = trace(Engine)
+    legacy = trace(LegacyEngine)
+    assert fast == legacy
+    assert len(fast) > 15  # the workload actually exercised both paths
+
+
+def test_any_of_detaches_losers_when_winner_triggers():
+    eng = Engine()
+    winner = eng.event("winner")
+    loser = eng.event("loser")
+    combined = eng.any_of([winner, loser])
+    winner.succeed("w")
+    eng.run()
+    assert combined.triggered
+    assert combined.value == (0, "w")
+    # the loser must not keep a callback pinning the combined event alive
+    assert loser._callbacks == []
+    # and a late trigger of the loser is inert
+    loser.succeed("late")
+    eng.run()
+    assert combined.value == (0, "w")
+
+
+def test_any_of_detaches_pending_on_failure():
+    eng = Engine()
+    failing = eng.event("failing")
+    pending = eng.event("pending")
+    combined = eng.any_of([failing, pending])
+    failing.fail(SimulationError("boom"))
+    eng.run()
+    assert combined.failed
+    assert pending._callbacks == []
+
+
+def test_interrupt_during_timer_wait_does_not_double_resume():
+    """A stale fast-path timer entry left in the queue by an interrupt must
+    not fire a second resume when its cycle comes up."""
+    eng = Engine()
+    log = []
+
+    def sleeper():
+        try:
+            yield 10
+            log.append(("slept", eng.now))
+        except Interrupt:
+            log.append(("interrupted", eng.now))
+            yield 20
+            log.append(("resumed", eng.now))
+
+    proc = eng.process(sleeper())
+
+    def interrupter():
+        yield 4
+        proc.interrupt("wake")
+
+    eng.process(interrupter())
+    eng.run()
+    assert log == [("interrupted", 4), ("resumed", 24)]
