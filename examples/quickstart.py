@@ -11,6 +11,7 @@ Run:  python examples/quickstart.py
 
 from repro.accel import Accelerator
 from repro.kernel import ApiarySystem
+from repro.obs import export_chrome_trace
 
 
 class HelloAccel(Accelerator):
@@ -37,6 +38,7 @@ class HelloAccel(Accelerator):
 
 def main():
     system = ApiarySystem(width=3, height=2)
+    system.enable_tracing()  # causal spans; zero-cost unless enabled
     system.boot()
     print("Booted Apiary:")
     print(system.describe())
@@ -59,6 +61,16 @@ def main():
           f"monitors passed "
           f"{sum(t.monitor.messages_sent for t in system.tiles)} messages, "
           f"denied {sum(t.monitor.denials for t in system.tiles)}.")
+
+    # where did each request's time go? (causal spans, aggregated)
+    index = system.span_index()
+    total = sum(index.aggregate_stages().values())
+    print("\nRequest time by stage (all traced requests):")
+    for stage, cycles in sorted(index.aggregate_stages().items(),
+                                key=lambda kv: -kv[1]):
+        print(f"  {stage:<20} {cycles:>6} cyc ({cycles / total:.0%})")
+    export_chrome_trace("quickstart_trace.json", system.spans)
+    print("\nWrote quickstart_trace.json — load it at https://ui.perfetto.dev")
 
 
 if __name__ == "__main__":

@@ -49,6 +49,11 @@ class Message:
     cap: optional capability reference accompanying the operation (e.g. the
         memory capability for a read/write).
     priority: traffic class hint, mapped to NoC VC classes by the monitor.
+    trace_id / span_id: causal-tracing context (0 = untraced).  ``trace_id``
+        identifies the root request; ``span_id`` is the span the next stage
+        handling this message should parent under.  Stamped by the shell
+        when span tracing is enabled, propagated into responses by
+        :meth:`make_response`, and carried across the NoC inside packets.
     """
 
     src: str
@@ -61,6 +66,8 @@ class Message:
     cap: Optional[CapabilityRef] = None
     priority: int = 0
     sent_at: int = -1
+    trace_id: int = 0
+    span_id: int = 0
 
     def __post_init__(self) -> None:
         if not self.dst:
@@ -86,6 +93,8 @@ class Message:
             payload=payload,
             payload_bytes=payload_bytes,
             priority=self.priority,
+            trace_id=self.trace_id,
+            span_id=self.span_id,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

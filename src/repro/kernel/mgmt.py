@@ -46,6 +46,9 @@ class MgmtPlane:
         #: (holder, endpoint) pairs granted via grant_send — the policy-level
         #: record that lets recovery re-mint a failed-over tile's authority
         self.send_grants: Set[Tuple[str, str]] = set()
+        #: optional TelemetrySampler (see attach_sampler); when attached,
+        #: telemetry() merges its latest ring-buffer samples per tile
+        self.sampler = None
 
     # -- naming (the per-tile tables of Section 4.3) ---------------------------
 
@@ -150,6 +153,15 @@ class MgmtPlane:
 
     # -- observability ----------------------------------------------------------
 
+    def attach_sampler(self, sampler) -> None:
+        """Attach a :class:`~repro.obs.telemetry.TelemetrySampler`.
+
+        Subsequent :meth:`telemetry` calls merge each tile's latest sampled
+        time-series values (inject backlog, buffered flits, ...) into the
+        live monitor snapshot.
+        """
+        self.sampler = sampler
+
     def telemetry(self) -> List[Dict[str, float]]:
         """Per-tile traffic/health snapshots from every monitor.
 
@@ -157,7 +169,11 @@ class MgmtPlane:
         observability the Programmability design goal asks for, available
         precisely because everything crosses a monitor.
         """
-        return [tile.monitor.telemetry() for tile in self.tiles]
+        snaps = [tile.monitor.telemetry() for tile in self.tiles]
+        if self.sampler is not None:
+            for node, snap in enumerate(snaps):
+                snap.update(self.sampler.latest(node))
+        return snaps
 
     def police_rates(self, tx_threshold: float,
                      limit_flits_per_cycle: float,

@@ -41,6 +41,7 @@ from repro.mem.segment import SegmentTable
 from repro.noc.flit import flits_for_bytes
 from repro.noc.network import NetworkInterface
 from repro.noc.qos import RateMeter, TokenBucket
+from repro.obs.span import SpanRecorder
 from repro.sim import Channel, Engine, Event, StatsRegistry, Tracer
 
 __all__ = ["Monitor", "MONITOR_EGRESS_CYCLES", "MONITOR_INGRESS_CYCLES"]
@@ -68,6 +69,7 @@ class Monitor:
         cap_table_size: int = 64,
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        spans: Optional[SpanRecorder] = None,
     ):
         self.engine = engine
         self.tile_name = tile_name
@@ -78,6 +80,7 @@ class Monitor:
         self.spu = SegmentProtectionUnit(caps, segments, holder=tile_name)
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.spans = spans if spans is not None else ni.network.spans
         self.drained = False
         self.cap_table_size = cap_table_size
         self.bucket: Optional[TokenBucket] = None
@@ -181,11 +184,18 @@ class Monitor:
         return done
 
     def _egress_loop(self):
+        spans = self.spans
         while True:
             msg, done = yield self._egress_queue.get()
             if self.drained:
                 done.fail(TileFault(f"{self.tile_name} is fail-stopped"))
                 continue
+            span = 0
+            if spans.enabled and msg.trace_id:
+                span = spans.open(msg.trace_id, "monitor.egress", "monitor",
+                                  self.tile_name, self.engine.now,
+                                  parent_id=msg.span_id, mid=msg.mid,
+                                  op=msg.op, dst=msg.dst)
             try:
                 dst_tile = self._check_egress(msg)
             except (AccessDenied, CapabilityError, ServiceUnavailable,
@@ -195,6 +205,9 @@ class Monitor:
                 self.tracer.emit(self.engine.now, "monitor.deny",
                                  self.tile_name, dst=msg.dst, op=msg.op,
                                  reason=type(err).__name__)
+                if span:
+                    spans.close(span, self.engine.now,
+                                denied=type(err).__name__)
                 done.fail(err)
                 continue
             if self.enforce:
@@ -216,6 +229,8 @@ class Monitor:
             self.messages_sent += 1
             self.tx_meter.record(self.engine.now, size_flits)
             self._ctr_sent.inc()
+            if span:
+                spans.close(span, self.engine.now, flits=size_flits)
             done.succeed(msg)
 
     def _check_egress(self, msg: Message) -> int:
@@ -253,14 +268,23 @@ class Monitor:
     # -- ingress ----------------------------------------------------------------
 
     def _ingress_loop(self):
+        spans = self.spans
         while True:
             pkt = yield self.ni.recv()
             msg = pkt.payload
             if not isinstance(msg, Message):
                 continue  # stray traffic; monitors only speak Message
+            span = 0
+            if spans.enabled and msg.trace_id:
+                span = spans.open(msg.trace_id, "monitor.ingress", "monitor",
+                                  self.tile_name, self.engine.now,
+                                  parent_id=msg.span_id, mid=msg.mid,
+                                  op=msg.op)
             if self.enforce:
                 yield MONITOR_INGRESS_CYCLES
             if self.drained:
+                if span:
+                    spans.close(span, self.engine.now, nacked=True)
                 self._nack(msg)
                 continue
             self.messages_received += 1
@@ -268,6 +292,8 @@ class Monitor:
             self._ctr_received.inc()
             if self.deliver is not None:
                 self.deliver(msg)
+            if span:
+                spans.close(span, self.engine.now)
 
     def _nack(self, msg: Message) -> None:
         """Fail-stop semantics: reject communication with a drained tile."""

@@ -98,13 +98,16 @@ class MemoryService(Accelerator):
         if handler is None:
             yield shell.reply(msg, payload=f"unknown op {msg.op!r}", error=True)
             return
+        span = shell.span_open(msg, f"service:{msg.op}", op=msg.op)
         try:
             payload, payload_bytes = yield from handler(msg)
         except (AllocationError, AccessDenied, SegmentFault, ProtocolError,
                 ConfigError, DramFault) as err:
+            shell.span_close(span, error=type(err).__name__)
             yield shell.reply(msg, payload=f"{type(err).__name__}: {err}",
                               error=True)
             return
+        shell.span_close(span)
         yield shell.reply(msg, payload=payload, payload_bytes=payload_bytes)
 
     # -- handlers (process generators returning (payload, payload_bytes)) -----
@@ -151,7 +154,9 @@ class MemoryService(Accelerator):
     def _write(self, msg: Message):
         seg, physical = self._locate(msg, is_write=True)
         access: MemAccess = msg.payload
-        yield from self.dram.access(physical, access.nbytes, is_write=True)
+        yield from self.dram.access(physical, access.nbytes, is_write=True,
+                                    trace_id=msg.trace_id,
+                                    parent_span=msg.span_id)
         # writing refreshes the cells: any injected upsets in range are gone
         self.dram.scrub(physical, access.nbytes)
         store = self._backing[seg.sid]
@@ -168,7 +173,9 @@ class MemoryService(Accelerator):
     def _read(self, msg: Message):
         seg, physical = self._locate(msg, is_write=False)
         access: MemAccess = msg.payload
-        yield from self.dram.access(physical, access.nbytes, is_write=False)
+        yield from self.dram.access(physical, access.nbytes, is_write=False,
+                                    trace_id=msg.trace_id,
+                                    parent_span=msg.span_id)
         store = self._backing[seg.sid]
         end = access.offset + access.nbytes
         data = bytes(store[access.offset:end]).ljust(access.nbytes, b"\x00")
@@ -300,12 +307,15 @@ class NetworkService(Accelerator):
             shell.spawn(f"req{msg.mid}", self._serve(shell, msg))
 
     def _serve(self, shell, msg: Message):
+        span = shell.span_open(msg, f"service:{msg.op}", op=msg.op)
         if msg.op == "net.bind":
             port = int(msg.payload["port"])
             if port in self._ports and self._ports[port] != msg.src:
+                shell.span_close(span, error="PortTaken")
                 yield shell.reply(msg, payload=f"port {port} taken", error=True)
                 return
             self._ports[port] = msg.src
+            shell.span_close(span)
             yield shell.reply(msg, payload="bound")
         elif msg.op == "net.send":
             body = msg.payload
@@ -315,8 +325,10 @@ class NetworkService(Accelerator):
                  "src_mac": self.adapter.mac_addr},
                 payload_bytes=int(body["nbytes"]),
             )
+            shell.span_close(span)
             yield shell.reply(msg, payload="sent")
         else:
+            shell.span_close(span, error="UnknownOp")
             yield shell.reply(msg, payload=f"unknown op {msg.op!r}", error=True)
 
     def _peer(self, peer_mac: str) -> ReliableEndpoint:

@@ -33,6 +33,7 @@ from repro.errors import (
 )
 from repro.kernel.message import MemAccess, Message, MessageKind
 from repro.kernel.monitor import Monitor
+from repro.obs.span import SpanRecorder
 from repro.sim import Channel, Engine, Event, Process
 
 __all__ = ["Shell", "AllocatedSegment"]
@@ -59,6 +60,10 @@ class Shell:
                  mem_service: str = "svc.mem", net_service: str = "svc.net"):
         self.engine = engine
         self.monitor = monitor
+        # cache the monitor's span recorder (duck-typed monitor stand-ins
+        # without one get a private disabled recorder)
+        spans = getattr(monitor, "spans", None)
+        self._spans: SpanRecorder = spans if spans is not None else SpanRecorder()
         self.mem_service = mem_service
         self.net_service = net_service
         self.inbox: Channel = Channel(engine, capacity=None,
@@ -74,6 +79,11 @@ class Shell:
     @property
     def name(self) -> str:
         return self.monitor.tile_name
+
+    @property
+    def spans(self) -> SpanRecorder:
+        """This tile's causal-span recorder (shared system-wide)."""
+        return self._spans
 
     # -- message plumbing ----------------------------------------------------
 
@@ -110,6 +120,20 @@ class Shell:
                       kind=MessageKind.REQUEST, payload=payload,
                       payload_bytes=payload_bytes, cap=cap, priority=priority)
         result = self.engine.event(f"{self.name}.call#{msg.mid}")
+        spans = self._spans
+        if spans.enabled:
+            # root span of the causal trace: covers the whole request,
+            # submission to response delivery (= end-to-end latency)
+            msg.trace_id = spans.new_trace()
+            msg.span_id = spans.open(
+                msg.trace_id, f"request:{op}", "request", self.name,
+                self.engine.now, dst=dst, op=op, mid=msg.mid)
+            root_span = msg.span_id
+
+            def close_root(ev: Event) -> None:
+                spans.close(root_span, self.engine.now, failed=ev.failed)
+
+            result.add_callback(close_root)
         self._pending[msg.mid] = result
         self.calls_made += 1
         admitted = self.monitor.submit(msg)
@@ -198,6 +222,31 @@ class Shell:
     def recv(self) -> Event:
         """Next incoming request/event for this tile."""
         return self.inbox.get()
+
+    # -- service-side causal tracing -----------------------------------------
+
+    def span_open(self, msg: Message, name: str, category: str = "service",
+                  **detail: Any) -> int:
+        """Open a child span for handling ``msg`` (0 when untraced).
+
+        Reparents the message under the new span, so downstream work this
+        handler causes — DRAM access, the reply's egress/transit — nests
+        beneath it in the reconstructed tree.  Zero-cost when tracing is
+        disabled, like every span emit path.
+        """
+        spans = self._spans
+        if not spans.enabled or not msg.trace_id:
+            return 0
+        span = spans.open(msg.trace_id, name, category, self.name,
+                          self.engine.now, parent_id=msg.span_id,
+                          mid=msg.mid, **detail)
+        msg.span_id = span
+        return span
+
+    def span_close(self, span: int, **detail: Any) -> None:
+        """Close a span from :meth:`span_open` (no-op for 0)."""
+        if span:
+            self._spans.close(span, self.engine.now, **detail)
 
     def reply(self, request: Message, payload: Any = None,
               payload_bytes: int = 0, error: bool = False) -> Event:

@@ -34,6 +34,9 @@ from repro.net.ethernet import HundredGigMac, TenGigMac
 from repro.net.frame import EthernetFabric
 from repro.noc.network import Network
 from repro.noc.topology import Mesh2D
+from repro.obs.index import SpanIndex
+from repro.obs.span import SpanRecorder
+from repro.obs.telemetry import TelemetrySampler
 from repro.sim import Engine, Event, RngPool, StatsRegistry, Tracer
 
 __all__ = ["ApiarySystem", "build_figure1"]
@@ -87,6 +90,10 @@ class ApiarySystem:
         self.rng = RngPool(seed=seed)
         self.stats = StatsRegistry()
         self.tracer = Tracer()
+        #: one system-wide span recorder; the network, every monitor (which
+        #: inherits via its NI), and the DRAM device all share it so a
+        #: request's spans land in a single causal trace
+        self.spans = SpanRecorder()
         self.part: FpgaPart = lookup_part(part_name)
         self.topo = Mesh2D(width, height)
         self.enforce = enforce
@@ -97,6 +104,7 @@ class ApiarySystem:
             buffer_depth=buffer_depth, hop_latency=hop_latency,
             flit_bytes=noc_flit_bytes,
             stats=self.stats, tracer=self.tracer,
+            spans=self.spans,
             **network_kwargs,
         )
         self.caps = CapabilityStore(slots_per_holder=monitor_cap_slots)
@@ -156,6 +164,7 @@ class ApiarySystem:
         if with_memory:
             self.dram = Dram(self.engine, channels=dram_channels,
                              capacity_bytes=dram_capacity, timing=dram_timing)
+            self.dram.spans = self.spans
             self.mem_service = MemoryService("svc.mem", self.dram, self.caps,
                                              self.segments)
             self._boot_events.append(
@@ -179,6 +188,41 @@ class ApiarySystem:
             )
 
         self.recovery: Optional[RecoveryManager] = None
+        self.sampler: Optional[TelemetrySampler] = None
+
+    # -- observability -----------------------------------------------------------
+
+    def enable_tracing(self) -> SpanRecorder:
+        """Turn on causal span recording system-wide.
+
+        Until this is called every span emit site short-circuits on
+        ``spans.enabled`` (the same zero-cost contract as ``Tracer.emit``),
+        so untraced runs pay nothing.
+        """
+        self.spans.enable()
+        return self.spans
+
+    def enable_telemetry(self, interval: int = 1000,
+                         capacity: int = 512) -> TelemetrySampler:
+        """Start the periodic telemetry sampler and attach it to mgmt.
+
+        Samples per-tile monitor counters, per-router buffered flits / flit
+        rates (the NoC heatmap), and DRAM queue depth every ``interval``
+        cycles into ring buffers of ``capacity`` samples.
+        """
+        if self.sampler is not None:
+            raise ConfigError("telemetry is already enabled")
+        self.sampler = TelemetrySampler(
+            self.engine, tiles=self.tiles, network=self.network,
+            dram=self.dram, interval=interval, capacity=capacity,
+        )
+        self.sampler.start()
+        self.mgmt.attach_sampler(self.sampler)
+        return self.sampler
+
+    def span_index(self) -> SpanIndex:
+        """A :class:`SpanIndex` over everything recorded so far."""
+        return SpanIndex(self.spans)
 
     # -- convenience -------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, DramFault
+from repro.obs.span import SpanRecorder
 from repro.sim import Engine, Event, Resource
 
 __all__ = ["DramTiming", "DramBank", "DramChannel", "Dram", "DDR4_TIMING", "HBM2_TIMING"]
@@ -190,6 +191,10 @@ class Dram:
         ]
         self.reads = 0
         self.writes = 0
+        #: causal-span recorder; ApiarySystem replaces this with the shared
+        #: system-wide recorder.  Disabled by default, so standalone Dram
+        #: instances pay nothing.
+        self.spans = SpanRecorder()
         # fault injection: physical addresses whose stored value is wrong
         # (single-event upsets).  Data integrity lives with whoever holds
         # the backing bytes (the memory service), so the device only tracks
@@ -242,23 +247,33 @@ class Dram:
         local_row = row_global // len(self.channels)
         return self.channels[ch], local_row * self.row_bytes + addr % self.row_bytes
 
-    def access(self, addr: int, nbytes: int, is_write: bool = False):
+    def access(self, addr: int, nbytes: int, is_write: bool = False,
+               trace_id: int = 0, parent_span: int = 0):
         """Process generator for one access, split across channels."""
         if is_write:
             self.writes += 1
         else:
             self.reads += 1
+        span = 0
+        if trace_id and self.spans.enabled:
+            span = self.spans.open(
+                trace_id, "dram.access", "dram", self.name, self.engine.now,
+                parent_id=parent_span, nbytes=nbytes, write=is_write)
         start = self.engine.now
         remaining = nbytes
         cursor = addr
-        while remaining > 0:
-            channel, local = self.channel_of(cursor)
-            # bytes to the end of this channel's current row
-            row_offset = cursor % self.row_bytes
-            chunk = min(remaining, self.row_bytes - row_offset)
-            yield from channel.access(local, chunk)
-            remaining -= chunk
-            cursor += chunk
+        try:
+            while remaining > 0:
+                channel, local = self.channel_of(cursor)
+                # bytes to the end of this channel's current row
+                row_offset = cursor % self.row_bytes
+                chunk = min(remaining, self.row_bytes - row_offset)
+                yield from channel.access(local, chunk)
+                remaining -= chunk
+                cursor += chunk
+        finally:
+            if span:
+                self.spans.close(span, self.engine.now)
         return self.engine.now - start
 
     def totals(self) -> Dict[str, int]:

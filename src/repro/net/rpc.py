@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.errors import ProtocolError
+from repro.obs.span import SpanRecorder
 from repro.sim import Channel, Engine, Event
 
 __all__ = ["RpcRequest", "RpcResponse", "RpcCaller", "RpcResponder"]
@@ -27,6 +28,10 @@ class RpcRequest:
     body: Any
     body_bytes: int = 0
     reply_to: str = ""
+    # causal-trace context: stamped by a tracing RpcCaller, carried to the
+    # responder so the handler span joins the caller's trace
+    trace_id: int = 0
+    span_id: int = 0
 
 
 @dataclass
@@ -35,6 +40,7 @@ class RpcResponse:
     body: Any
     body_bytes: int = 0
     is_error: bool = False
+    trace_id: int = 0
 
 
 class RpcCaller:
@@ -45,11 +51,13 @@ class RpcCaller:
     """
 
     def __init__(self, engine: Engine, send: Callable[[RpcRequest], None],
-                 reply_to: str = "", name: str = "rpc"):
+                 reply_to: str = "", name: str = "rpc",
+                 spans: Optional[SpanRecorder] = None):
         self.engine = engine
         self.send = send
         self.reply_to = reply_to
         self.name = name
+        self.spans = spans if spans is not None else SpanRecorder()
         self._rid = itertools.count(1)
         self._pending: Dict[int, Event] = {}
         self.requests_sent = 0
@@ -62,8 +70,22 @@ class RpcCaller:
         done = self.engine.event(f"{self.name}.call#{rid}")
         self._pending[rid] = done
         self.requests_sent += 1
-        self.send(RpcRequest(rid=rid, method=method, body=body,
-                             body_bytes=body_bytes, reply_to=self.reply_to))
+        request = RpcRequest(rid=rid, method=method, body=body,
+                             body_bytes=body_bytes, reply_to=self.reply_to)
+        spans = self.spans
+        if spans.enabled:
+            # root span covering the whole RPC, issue to response match
+            request.trace_id = spans.new_trace()
+            request.span_id = spans.open(
+                request.trace_id, f"rpc:{method}", "rpc", self.name,
+                self.engine.now, rid=rid, method=method)
+            root_span = request.span_id
+
+            def close_root(ev: Event) -> None:
+                spans.close(root_span, self.engine.now, failed=ev.failed)
+
+            done.add_callback(close_root)
+        self.send(request)
         return done
 
     def deliver_response(self, response: RpcResponse) -> None:
@@ -96,10 +118,12 @@ class RpcResponder:
     """
 
     def __init__(self, engine: Engine,
-                 send: Callable[[str, RpcResponse], None], name: str = "svc"):
+                 send: Callable[[str, RpcResponse], None], name: str = "svc",
+                 spans: Optional[SpanRecorder] = None):
         self.engine = engine
         self.send = send
         self.name = name
+        self.spans = spans if spans is not None else SpanRecorder()
         self._handlers: Dict[str, Callable] = {}
         self.requests_handled = 0
         self.errors_returned = 0
@@ -116,23 +140,37 @@ class RpcResponder:
             self.errors_returned += 1
             self.send(request.reply_to, RpcResponse(
                 rid=request.rid, body=f"no such method {request.method!r}",
-                is_error=True,
+                is_error=True, trace_id=request.trace_id,
             ))
             return
+
+        span = 0
+        if self.spans.enabled and request.trace_id:
+            span = self.spans.open(
+                request.trace_id, f"rpc.handle:{request.method}", "rpc",
+                self.name, self.engine.now, parent_id=request.span_id,
+                rid=request.rid)
 
         def run():
             try:
                 result = yield from handler(request)
             except Exception as err:
                 self.errors_returned += 1
+                if span:
+                    self.spans.close(span, self.engine.now,
+                                     error=type(err).__name__)
                 self.send(request.reply_to, RpcResponse(
                     rid=request.rid, body=str(err), is_error=True,
+                    trace_id=request.trace_id,
                 ))
                 return
             body, body_bytes = result if isinstance(result, tuple) else (result, 0)
             self.requests_handled += 1
+            if span:
+                self.spans.close(span, self.engine.now)
             self.send(request.reply_to, RpcResponse(
                 rid=request.rid, body=body, body_bytes=body_bytes,
+                trace_id=request.trace_id,
             ))
 
         self.engine.process(run(), name=f"{self.name}.{request.method}#{request.rid}")

@@ -68,6 +68,11 @@ class Packet:
     #: dimension being traversed; managed by routers, reset per dimension
     dateline_vc: int = 0
     dateline_dim: str = ""
+    #: causal tracing (0 = untraced): trace id copied from the payload
+    #: message at injection, and the id of the open ``noc.transit`` span
+    #: the delivery path must close
+    trace_id: int = 0
+    span_id: int = 0
 
     def __post_init__(self) -> None:
         if self.size_flits < 1:

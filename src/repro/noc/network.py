@@ -20,6 +20,7 @@ from repro.noc.flit import DEFAULT_FLIT_BYTES, Flit, Packet, flits_for_bytes
 from repro.noc.router import Router
 from repro.noc.routing import RoutingFunction, XYRouting
 from repro.noc.topology import Mesh2D, Port, Torus2D
+from repro.obs.span import SpanRecorder
 from repro.sim import Channel, Engine, Event, Histogram, StatsRegistry, Tracer
 
 __all__ = ["Network", "NetworkInterface"]
@@ -42,6 +43,7 @@ class NetworkInterface:
         self.network = network
         self.node = node
         self.engine = network.engine
+        self._spans = network.spans
         num_vcs = network.num_vcs
         depth = network.buffer_depth
         self.name = f"ni{node}"
@@ -155,6 +157,19 @@ class NetworkInterface:
                 done.succeed(pkt)  # sender saw a clean injection; data is gone
                 continue
             pkt.injected_at = self.engine.now
+            if self._spans.enabled:
+                # causal tracing: a traced message opens a noc.transit span
+                # covering injection start -> tail delivery at the far NI
+                tid = getattr(pkt.payload, "trace_id", 0)
+                if tid:
+                    pkt.trace_id = tid
+                    pkt.span_id = self._spans.open(
+                        tid, "noc.transit", "noc", self.name,
+                        self.engine.now,
+                        parent_id=getattr(pkt.payload, "span_id", 0),
+                        pid=pkt.pid, src=pkt.src, dst=pkt.dst,
+                        flits=pkt.size_flits,
+                    )
             vcs = router.allowed_vcs(pkt.vc_class)
             for flit in pkt.make_flits():
                 while True:
@@ -261,6 +276,7 @@ class Network:
         delivery_queue_depth: int = 16,
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        spans: Optional[SpanRecorder] = None,
         router_cls: type = Router,
     ):
         from repro.noc.routing import MinimalAdaptiveRouting, TorusXYRouting
@@ -291,6 +307,7 @@ class Network:
         self.delivery_queue_depth = delivery_queue_depth
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.spans = spans if spans is not None else SpanRecorder()
         # hot-path stat handles, resolved once: the per-packet loops must
         # not pay a string-keyed registry lookup per event
         self._ctr_injected = self.stats.counter("noc.packets_injected")
@@ -407,6 +424,10 @@ class Network:
         self._ctr_delivered.inc()
         self._hist_latency.record(pkt.latency)
         self._hist_hops.record(pkt.hops)
+        if pkt.span_id:
+            # eject side of the causal trace: the tail flit reassembled
+            self.spans.close(pkt.span_id, self.engine.now,
+                             hops=pkt.hops, latency=pkt.latency)
         if self.tracer.enabled:
             self.tracer.emit(
                 self.engine.now, "noc.deliver", f"ni{pkt.dst}",

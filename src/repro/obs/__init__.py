@@ -1,0 +1,46 @@
+"""Observability: causal request tracing, telemetry time-series, exporters.
+
+The Apiary pitch (Design Goals, Programmability) is that because *every*
+inter-accelerator interaction crosses the monitor/NoC boundary, the OS can
+observe all of it.  This package is that observation layer, built on top of
+the flat :class:`~repro.sim.trace.Tracer` and end-of-run
+:class:`~repro.sim.stats.StatsRegistry`:
+
+* :class:`SpanRecorder` / :class:`SpanIndex` — follow one request through
+  injection, NoC hops, monitor interposition, service dispatch and DRAM
+  access; rebuild per-request span trees, critical paths and stage
+  breakdowns whose cycle sums equal the measured end-to-end latency.
+* :class:`TelemetrySampler` — ring-buffered per-tile time-series (inject
+  backlog, buffered flits, denials, DRAM queue depth) and a NoC utilization
+  heatmap, exposed mid-run via ``MgmtPlane.telemetry()``.
+* :func:`chrome_trace` / :func:`export_chrome_trace` — Chrome trace-event
+  JSON loadable in Perfetto / ``chrome://tracing``; :func:`run_report` — a
+  plain-text summary.
+
+Everything is zero-cost when disabled: every instrumented hot path guards
+on ``spans.enabled`` exactly like ``Tracer.emit``, an invariant the P1
+benchmark enforces with a recorded overhead floor.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    export_chrome_trace,
+    run_report,
+    validate_chrome_trace,
+)
+from repro.obs.index import QUEUE_STAGE, SpanIndex, SpanNode
+from repro.obs.span import SpanRecord, SpanRecorder
+from repro.obs.telemetry import TelemetrySampler
+
+__all__ = [
+    "SpanRecord",
+    "SpanRecorder",
+    "SpanIndex",
+    "SpanNode",
+    "QUEUE_STAGE",
+    "TelemetrySampler",
+    "chrome_trace",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "run_report",
+]

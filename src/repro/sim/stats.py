@@ -153,6 +153,11 @@ class TimeWeighted:
             return self._value
         return total / elapsed
 
+    @property
+    def last_time(self) -> int:
+        """When the signal last changed (snapshot's default end time)."""
+        return self._last_time
+
 
 class StatsRegistry:
     """A named bag of stats objects, one per component instance.
@@ -165,6 +170,7 @@ class StatsRegistry:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self.time_weighted_stats: Dict[str, TimeWeighted] = {}
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
@@ -181,13 +187,42 @@ class StatsRegistry:
             self.histograms[name] = Histogram(name)
         return self.histograms[name]
 
-    def snapshot(self) -> Dict[str, Dict[str, float]]:
-        """Flatten every stat into plain floats for reporting/JSON."""
-        out: Dict[str, Dict[str, float]] = {"counters": {}, "gauges": {}, "histograms": {}}
+    def time_weighted(self, name: str, initial: float = 0.0,
+                      start_time: int = 0) -> TimeWeighted:
+        if name not in self.time_weighted_stats:
+            self.time_weighted_stats[name] = TimeWeighted(
+                name, initial=initial, start_time=start_time)
+        return self.time_weighted_stats[name]
+
+    def snapshot(self, now: Optional[int] = None) -> Dict[str, Dict]:
+        """Flatten every stat into JSON-safe values for reporting.
+
+        Empty histograms and never-set gauges would otherwise surface as
+        NaN — which ``json.dumps`` happily emits as the *invalid* token
+        ``NaN``, breaking every strict parser downstream — so undefined
+        values become ``None`` (JSON ``null``) instead.  ``now`` is the end
+        time for time-weighted averages; when omitted, each stat averages
+        up to its own last update.
+        """
+        out: Dict[str, Dict] = {"counters": {}, "gauges": {},
+                                "histograms": {}, "time_weighted": {}}
         for name, counter in self.counters.items():
             out["counters"][name] = float(counter.value)
         for name, gauge in self.gauges.items():
-            out["gauges"][name] = float(gauge.value)
+            out["gauges"][name] = _json_safe(gauge.value)
         for name, histogram in self.histograms.items():
-            out["histograms"][name] = histogram.summary()  # type: ignore[assignment]
+            out["histograms"][name] = {
+                k: _json_safe(v) for k, v in histogram.summary().items()
+            }
+        for name, tw in self.time_weighted_stats.items():
+            end = now if now is not None else tw.last_time
+            out["time_weighted"][name] = _json_safe(tw.average(end))
         return out
+
+
+def _json_safe(value: float) -> Optional[float]:
+    """NaN/inf -> None; everything else -> float."""
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        return None
+    return value

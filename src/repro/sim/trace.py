@@ -106,9 +106,17 @@ class Tracer:
         self._records.clear()
 
     def format(self, category: Optional[str] = None, limit: int = 50) -> str:
-        """Human-readable dump for debugging failed tests."""
+        """Human-readable dump for debugging failed tests.
+
+        Filters lazily and stops at ``limit`` — a million-record trace with
+        a narrow category must not be materialized just to print 50 lines.
+        """
         lines = []
-        for rec in self.records(category=category)[:limit]:
+        for rec in self._records:
+            if category is not None and not rec.category.startswith(category):
+                continue
             detail = " ".join(f"{k}={v}" for k, v in rec.detail.items())
             lines.append(f"[{rec.time:>8}] {rec.category:<24} {rec.source:<20} {detail}")
+            if len(lines) >= limit:
+                break
         return "\n".join(lines)

@@ -123,3 +123,37 @@ def test_telemetry_shows_drained_tile():
     system.mgmt.fail_stop(2)
     snap = {s["tile"]: s for s in system.mgmt.telemetry()}
     assert snap["tile2"]["drained"] == 1.0
+
+
+def test_telemetry_returns_full_shape_for_every_tile():
+    """Operators key dashboards off these fields; pin the contract."""
+    system = booted()
+    snaps = system.mgmt.telemetry()
+    assert len(snaps) == system.topo.node_count
+    required = {"tile", "messages_sent", "messages_received", "denials",
+                "drained", "tx_flits_per_cycle", "rate_limited"}
+    for node, snap in enumerate(snaps):
+        assert required <= set(snap), f"tile{node} missing {required - set(snap)}"
+        assert snap["tile"] == f"tile{node}"
+
+
+def test_police_rates_no_trigger_below_threshold():
+    """Idle tiles must never be throttled, whatever the limit."""
+    system = booted()
+    throttled = system.mgmt.police_rates(tx_threshold=0.5,
+                                         limit_flits_per_cycle=0.01)
+    assert throttled == []
+    assert all(t.monitor.bucket is None for t in system.tiles)
+
+
+def test_telemetry_merges_sampler_series_when_enabled():
+    system = ApiarySystem(width=3, height=2)
+    sampler = system.enable_telemetry(interval=500)
+    system.boot()
+    snaps = system.mgmt.telemetry()
+    for snap in snaps:
+        # sampled gauges ride along with the live monitor snapshot
+        assert "inject_backlog" in snap
+        assert "buffered_flits" in snap
+        assert snap["sampled_at"] > 0
+    assert sampler is system.mgmt.sampler

@@ -265,3 +265,69 @@ class TestTracer:
         assert "cat" in t.format()
         t.clear()
         assert len(t) == 0
+
+
+class TestSnapshotJsonSafety:
+    def test_empty_histogram_snapshots_to_none_not_nan(self):
+        reg = StatsRegistry()
+        reg.histogram("never-recorded")
+        snap = reg.snapshot()
+        row = snap["histograms"]["never-recorded"]
+        assert row["count"] == 0.0
+        for key in ("mean", "p50", "p90", "p99", "p999", "max"):
+            assert row[key] is None, f"{key} should be None, got {row[key]}"
+
+    def test_nan_gauge_snapshots_to_none(self):
+        reg = StatsRegistry()
+        reg.gauge("g").set(math.nan)
+        assert reg.snapshot()["gauges"]["g"] is None
+
+    def test_snapshot_round_trips_through_strict_json(self):
+        import json
+
+        reg = StatsRegistry()
+        reg.counter("sent").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").record(10)
+        reg.histogram("empty")
+        reg.time_weighted("q").update(100, 4.0)
+        # parse_constant raises on NaN/Infinity tokens — the strictness
+        # every non-Python JSON consumer applies by default
+        def reject(token):
+            raise ValueError(f"invalid JSON token {token}")
+
+        text = json.dumps(reg.snapshot())
+        back = json.loads(text, parse_constant=reject)
+        assert back["histograms"]["lat"]["count"] == 1
+        assert back["histograms"]["empty"]["mean"] is None
+
+    def test_registry_time_weighted_reuses_and_snapshots(self):
+        reg = StatsRegistry()
+        tw = reg.time_weighted("queue.depth")
+        assert reg.time_weighted("queue.depth") is tw
+        tw.update(10, 4.0)   # 0.0 held for [0, 10)
+        tw.update(20, 0.0)   # 4.0 held for [10, 20)
+        # explicit end time: 0.0 held for [20, 40) too
+        snap = reg.snapshot(now=40)
+        assert snap["time_weighted"]["queue.depth"] == pytest.approx(1.0)
+        # without an end time, averages run to the last update
+        snap = reg.snapshot()
+        assert snap["time_weighted"]["queue.depth"] == pytest.approx(2.0)
+
+
+class TestTracerFormatLimit:
+    def test_format_respects_limit(self):
+        t = Tracer()
+        t.enable()
+        for i in range(100):
+            t.emit(i, "cat.a" if i % 2 else "cat.b", "src", i=i)
+        assert len(t.format(limit=7).splitlines()) == 7
+        assert len(t.format(category="cat.a", limit=3).splitlines()) == 3
+
+    def test_format_filters_by_category_prefix(self):
+        t = Tracer()
+        t.enable()
+        t.emit(1, "noc.inject", "r0")
+        t.emit(2, "monitor.deny", "t1")
+        out = t.format(category="monitor.")
+        assert "monitor.deny" in out and "noc.inject" not in out
