@@ -227,7 +227,7 @@ class Injector:
 
     def _resolve_node(self, target: Any) -> Optional[int]:
         if isinstance(target, str):
-            return self.system.name_table.get(target)
+            return self.system.namespace.get(target)
         return int(target)
 
     def _tile_crash(self, ev: FaultEvent) -> str:

@@ -1,0 +1,172 @@
+"""Cluster: N Apiary FPGAs on one fabric, managed as a single system.
+
+The scale-out unit the paper gestures at in Section 5: once each FPGA is
+a first-class network citizen, a rack of them composes the same way a
+rack of servers does — shared Ethernet fabric, a service directory, a
+load-balancing front-end.  Construction::
+
+    cluster = Cluster(n_fpgas=2, config=SystemConfig.figure1())
+    cluster.boot()
+    cluster.directory.deploy_sharded("kv", make_kv_handler, n_shards=4)
+    fe = cluster.start_frontend()
+
+Each FPGA derives its per-board config from the base via
+``dataclasses.replace`` (unique MAC, shifted seed); all boards share one
+:class:`~repro.sim.Engine` (one simulated clock domain), one
+:class:`~repro.net.frame.EthernetFabric`, and one
+:class:`~repro.obs.span.SpanRecorder` — so a single causal trace spans
+client, front-end, and whichever board served the request.
+
+``kill_fpga`` is the availability experiment's hammer: it detaches the
+board's MAC (frames to it drop on the floor) and reports a fault on
+every occupied tile, which reaches the front-end through the same
+``on_fault`` hook intra-FPGA recovery uses — shards fail over to their
+surviving replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.cluster.directory import ServiceDirectory
+from repro.cluster.frontend import FrontEnd
+from repro.errors import ConfigError, TileFault
+from repro.kernel.config import SystemConfig
+from repro.kernel.system import ApiarySystem
+from repro.net.frame import EthernetFabric
+from repro.obs.index import SpanIndex
+from repro.obs.span import SpanRecorder
+from repro.sim import Engine
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A multi-FPGA Apiary deployment on one shared fabric."""
+
+    def __init__(
+        self,
+        n_fpgas: int = 2,
+        config: Optional[SystemConfig] = None,
+        engine: Optional[Engine] = None,
+        fabric: Optional[EthernetFabric] = None,
+        fabric_latency: int = 500,
+    ):
+        if n_fpgas < 1:
+            raise ConfigError(f"need >= 1 FPGA, got {n_fpgas}")
+        base = config if config is not None else SystemConfig.figure1()
+        self.base_config = base
+        self.engine = engine if engine is not None else Engine()
+        self.fabric = fabric if fabric is not None else EthernetFabric(
+            self.engine, latency_cycles=fabric_latency)
+        self.spans = SpanRecorder()
+        self.systems: List[ApiarySystem] = []
+        for i in range(n_fpgas):
+            cfg = replace(
+                base,
+                seed=base.seed + i,
+                net=replace(base.net, mac_addr=f"fpga{i}"),
+            )
+            self.systems.append(ApiarySystem(
+                engine=self.engine, fabric=self.fabric,
+                config=cfg, spans=self.spans,
+            ))
+        self.directory = ServiceDirectory(self)
+        self.frontend: Optional[FrontEnd] = None
+        self.killed: List[int] = []
+
+    @property
+    def n_fpgas(self) -> int:
+        return len(self.systems)
+
+    def macs(self) -> List[str]:
+        return [s.config.net.mac_addr for s in self.systems]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def boot(self, extra_cycles: int = 5000) -> None:
+        """Bring every board's OS services up."""
+        for system in self.systems:
+            system.boot(extra_cycles=extra_cycles)
+
+    def enable_recovery(self, **kwargs) -> None:
+        """Attach an intra-FPGA recovery watchdog to every board.
+
+        Cross-FPGA failover stays the front-end's job; recovery handles
+        restart-in-place / spare tiles *within* a surviving board.
+        """
+        for system in self.systems:
+            system.enable_recovery(**kwargs)
+
+    def start_frontend(self, **kwargs) -> FrontEnd:
+        """Attach the load-balancing front-end (once)."""
+        if self.frontend is not None:
+            raise ConfigError("front-end is already running")
+        self.frontend = FrontEnd(self, **kwargs)
+        return self.frontend
+
+    def deploy_stateless(self, service, handler_factory, **kwargs):
+        started = self.directory.deploy_stateless(service, handler_factory,
+                                                  **kwargs)
+        if self.frontend is not None:
+            self.frontend.track_all()
+        return started
+
+    def deploy_sharded(self, service, handler_factory, **kwargs):
+        started = self.directory.deploy_sharded(service, handler_factory,
+                                                **kwargs)
+        if self.frontend is not None:
+            self.frontend.track_all()
+        return started
+
+    def run(self, until: Optional[int] = None) -> None:
+        self.engine.run(until=until)
+
+    # -- observability -----------------------------------------------------
+
+    def enable_tracing(self) -> SpanRecorder:
+        """One switch for the whole cluster (shared recorder)."""
+        self.spans.enable()
+        return self.spans
+
+    def span_index(self) -> SpanIndex:
+        """Cross-FPGA causal index — every board plus the front-end."""
+        return SpanIndex(self.spans)
+
+    # -- fault injection ---------------------------------------------------
+
+    def kill_fpga(self, index: int) -> None:
+        """Fail-stop a whole board: MAC off the fabric, every tile dead.
+
+        Reported through each tile's fault manager so every subscriber —
+        the front-end above all — learns the same way it would for an
+        organic fault.  The board's recovery watchdog (if any) is stopped
+        first: there is no board left to restart tiles on.
+        """
+        system = self.systems[index]
+        mac = system.config.net.mac_addr
+        if index in self.killed:
+            return
+        self.killed.append(index)
+        if system.recovery is not None:
+            system.recovery.stop()
+        self.fabric.detach(mac)
+        err = TileFault(f"board {mac} lost power")
+        err.occurred_at = self.engine.now
+        for tile in system.tiles:
+            if not tile.failed:
+                system.fault_manager.report(tile, "main", err)
+
+    def describe(self) -> str:
+        lines = [f"Apiary cluster: {self.n_fpgas} FPGA(s), "
+                 f"{len(self.directory.services)} service(s)"]
+        for i, system in enumerate(self.systems):
+            status = "KILLED" if i in self.killed else "up"
+            insts = self.directory.instances_on(i)
+            lines.append(
+                f"  fpga{i} [{status}] "
+                f"{system.config.noc.width}x{system.config.noc.height}: "
+                + ", ".join(inst.iid for inst in insts)
+            )
+        return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""ServiceDirectory: cluster-wide placement and naming of service instances.
+
+Extends the kernel's :class:`~repro.kernel.naming.Namespace` — same
+``bind/lookup/unbind/rebind`` verbs — but names resolve to ``(fpga,
+node)`` placements instead of local tile numbers.  On top of the
+namespace it owns the two placement policies the paper's scale-out story
+needs (FOS and SYNERGY both argue this belongs in the OS layer, not in
+each application):
+
+* **stateless replication** (:meth:`deploy_stateless`) — N interchangeable
+  instances spread round-robin across FPGAs; the front-end picks
+  least-loaded;
+* **consistent-hash sharding** (:meth:`deploy_sharded`) — keyed services
+  such as ``kvstore`` are split into shards on a deterministic hash ring
+  (CRC32, never Python's salted ``hash``), each shard replicated on
+  ``replication`` distinct FPGAs so a dead board's shards fail over to
+  surviving replicas.
+
+Placement is deterministic: lowest free tile on the chosen FPGA, FPGAs
+chosen round-robin — two identically-seeded cluster builds place
+identically (the sharding-determinism test pins this).
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.service import ClusterPortedService
+from repro.errors import ConfigError
+from repro.kernel.naming import Namespace
+from repro.sim import Event
+
+__all__ = ["HashRing", "ServiceInstance", "ServiceSpec", "ServiceDirectory"]
+
+
+def _stable_hash(value: Any) -> int:
+    """Deterministic 32-bit hash (process- and run-independent)."""
+    return zlib.crc32(str(value).encode())
+
+
+class HashRing:
+    """Consistent-hash ring mapping keys to shards.
+
+    ``vnodes`` virtual points per shard smooth the key distribution; the
+    ring is rebuilt only when the shard count changes (never at runtime
+    here — resharding is out of scope, replicas handle failures).
+    """
+
+    def __init__(self, n_shards: int, vnodes: int = 64):
+        if n_shards < 1:
+            raise ConfigError(f"need >= 1 shard, got {n_shards}")
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+        points = []
+        for shard in range(n_shards):
+            for v in range(vnodes):
+                points.append((_stable_hash(f"shard{shard}#v{v}"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._shards = [s for _, s in points]
+
+    def shard_for(self, key: Any) -> int:
+        """The shard owning ``key`` (clockwise successor on the ring)."""
+        h = _stable_hash(key)
+        i = bisect_right(self._points, h)
+        if i == len(self._points):
+            i = 0
+        return self._shards[i]
+
+
+@dataclass
+class ServiceInstance:
+    """One deployed copy of a service on one tile of one FPGA."""
+
+    service: str
+    fpga: int
+    node: int
+    port: int
+    #: shard this instance serves (None for stateless services)
+    shard: Optional[int] = None
+    #: replica index within the shard (0 = primary) or instance index
+    replica: int = 0
+
+    @property
+    def iid(self) -> str:
+        """Cluster-unique instance name (also its directory binding)."""
+        if self.shard is None:
+            return f"{self.service}#{self.replica}"
+        return f"{self.service}/s{self.shard}r{self.replica}"
+
+    @property
+    def endpoint(self) -> str:
+        """The on-FPGA logical endpoint name."""
+        if self.shard is None:
+            return f"app.{self.service}.{self.replica}"
+        return f"app.{self.service}.s{self.shard}r{self.replica}"
+
+
+@dataclass
+class ServiceSpec:
+    """Everything the front-end needs to route one service."""
+
+    name: str
+    sharded: bool
+    instances: List[ServiceInstance] = field(default_factory=list)
+    ring: Optional[HashRing] = None
+    replication: int = 1
+    #: sharded writes fan out to every replica of the shard, so a
+    #: failover target has the data (set False for cache-like services)
+    replicate_writes: bool = True
+
+    def candidates(self, key: Any = None) -> List[ServiceInstance]:
+        """Routing candidates in preference order.
+
+        Sharded + key: the shard's replicas, primary first.  Stateless
+        (or keyless): every instance — the front-end picks least-loaded.
+        """
+        if self.sharded and key is not None:
+            shard = self.ring.shard_for(key)
+            owners = [i for i in self.instances if i.shard == shard]
+            return sorted(owners, key=lambda i: i.replica)
+        return list(self.instances)
+
+
+class ServiceDirectory(Namespace):
+    """The cluster's service namespace + placement engine."""
+
+    #: first port handed to deployed instances (one port per instance,
+    #: unique per FPGA so svc.net demultiplexes cleanly)
+    PORT_BASE = 7100
+
+    def __init__(self, cluster):
+        super().__init__()
+        self.cluster = cluster
+        self.services: Dict[str, ServiceSpec] = {}
+        self._next_port = self.PORT_BASE
+        self._next_fpga = 0  # round-robin placement cursor
+
+    # -- placement ---------------------------------------------------------
+
+    def deploy_stateless(
+        self,
+        service: str,
+        handler_factory: Callable[[], Any],
+        instances: int = 2,
+    ) -> List[Event]:
+        """Place ``instances`` interchangeable copies round-robin.
+
+        ``handler_factory()`` builds a fresh handler per instance (state,
+        if any, is per-instance).  Returns the load-started events.
+        """
+        if service in self.services:
+            raise ConfigError(f"service {service!r} already deployed")
+        spec = ServiceSpec(name=service, sharded=False)
+        started = []
+        for idx in range(instances):
+            fpga = self._pick_fpga()
+            inst = ServiceInstance(service=service, fpga=fpga, node=-1,
+                                   port=self._alloc_port(), replica=idx)
+            started.append(self._load(inst, handler_factory()))
+            spec.instances.append(inst)
+            self.bind(inst.iid, (inst.fpga, inst.node))
+        self.services[service] = spec
+        return started
+
+    def deploy_sharded(
+        self,
+        service: str,
+        handler_factory: Callable[[int], Any],
+        n_shards: int = 4,
+        replication: int = 2,
+        replicate_writes: bool = True,
+        vnodes: int = 64,
+    ) -> List[Event]:
+        """Shard ``service`` across the cluster with replica failover.
+
+        ``handler_factory(shard)`` builds a handler for one shard (each
+        replica of a shard gets its own handler instance — writes are
+        fanned out by the front-end to keep them aligned).  Shard ``s``'s
+        replica ``r`` lands on FPGA ``(s + r) % n_fpgas``, so replicas of
+        one shard always sit on distinct FPGAs (as long as
+        ``replication <= n_fpgas``).
+        """
+        if service in self.services:
+            raise ConfigError(f"service {service!r} already deployed")
+        n_fpgas = len(self.cluster.systems)
+        if replication < 1:
+            raise ConfigError("replication must be >= 1")
+        if replication > n_fpgas:
+            raise ConfigError(
+                f"replication {replication} exceeds cluster size {n_fpgas} "
+                "(same-FPGA replicas share the failure domain)"
+            )
+        spec = ServiceSpec(name=service, sharded=True,
+                           ring=HashRing(n_shards, vnodes=vnodes),
+                           replication=replication,
+                           replicate_writes=replicate_writes)
+        started = []
+        for shard in range(n_shards):
+            for replica in range(replication):
+                fpga = (shard + replica) % n_fpgas
+                inst = ServiceInstance(service=service, fpga=fpga, node=-1,
+                                       port=self._alloc_port(),
+                                       shard=shard, replica=replica)
+                started.append(self._load(inst, handler_factory(shard)))
+                spec.instances.append(inst)
+                self.bind(inst.iid, (inst.fpga, inst.node))
+        self.services[service] = spec
+        return started
+
+    def _load(self, inst: ServiceInstance, handler) -> Event:
+        """Place one instance on the lowest free tile of its FPGA."""
+        system = self.cluster.systems[inst.fpga]
+        free = system.mgmt.free_tiles()
+        if not free:
+            raise ConfigError(
+                f"FPGA {inst.fpga} has no free tile for {inst.iid}"
+            )
+        inst.node = free[0]
+
+        def factory(port=inst.port, name=inst.iid, h=handler):
+            return ClusterPortedService(name, port=port, handler=h)
+
+        if system.recovery is not None:
+            # keep the instance alive intra-FPGA (restart / spare failover)
+            return system.recovery.deploy(inst.node, factory,
+                                          endpoint=inst.endpoint)
+        return system.mgmt.load(inst.node, factory(),
+                                endpoint=inst.endpoint)
+
+    def _pick_fpga(self) -> int:
+        fpga = self._next_fpga
+        self._next_fpga = (self._next_fpga + 1) % len(self.cluster.systems)
+        return fpga
+
+    def _alloc_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    # -- routing queries (used by the front-end) ---------------------------
+
+    def spec(self, service: str) -> ServiceSpec:
+        found = self.services.get(service)
+        if found is None:
+            raise ConfigError(f"unknown service {service!r}")
+        return found
+
+    def candidates(self, service: str,
+                   key: Any = None) -> List[ServiceInstance]:
+        return self.spec(service).candidates(key)
+
+    def instances_on(self, fpga: int,
+                     node: Optional[int] = None) -> List[ServiceInstance]:
+        """Instances on one FPGA (optionally one tile) — the blast radius
+        of a board or tile failure."""
+        out = []
+        for spec in self.services.values():
+            for inst in spec.instances:
+                if inst.fpga == fpga and (node is None or inst.node == node):
+                    out.append(inst)
+        return out
+
+    def placement_table(self) -> Dict[str, Any]:
+        """Deterministic placement snapshot (for tests and reports)."""
+        return {
+            inst.iid: {"fpga": inst.fpga, "node": inst.node,
+                       "port": inst.port, "shard": inst.shard,
+                       "replica": inst.replica}
+            for spec in self.services.values() for inst in spec.instances
+        }

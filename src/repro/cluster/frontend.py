@@ -1,0 +1,509 @@
+"""FrontEnd: the cluster's health-aware load balancer.
+
+A host on the datacenter fabric (same transport as every client) that
+sits between clients and the FPGAs:
+
+* **routing** — resolves ``{"service", "key", "body"}`` requests through
+  the :class:`~repro.cluster.directory.ServiceDirectory`: keyed requests
+  go to their shard's primary, stateless requests to the least-loaded
+  healthy instance;
+* **health** — three signals per instance: data-path responses (any
+  response marks an instance healthy, so a loaded-but-alive backend is
+  never declared dead), periodic pings, and the kernel's own fault
+  reports (``fault_manager.on_fault`` fires the cycle a tile drains, so
+  a dead FPGA's queued requests fail over immediately instead of waiting
+  out a timeout);
+* **failover** — each request runs under a :class:`~repro.policy.RetryPolicy`;
+  a failed attempt rotates to the next replica (sharded) or another
+  instance (stateless).  Writes to sharded services fan out to every
+  healthy replica so the failover target has the data (handlers must be
+  idempotent — retried writes may be re-applied);
+* **admission control** — a bounded in-flight budget; excess requests
+  get an immediate ``{"rejected": True}`` reply instead of queueing
+  without bound (the difference between a p99 and a death spiral);
+* **batching** — per-instance queues flushed as ``("batch", ...)``
+  envelopes, amortizing transport round-trips under load.
+
+Tracing: when the cluster's shared recorder is enabled, each request
+opens ``frontend:<service>`` with one ``forward:<instance>`` child per
+attempt; the trace context rides in the body so the backend span nests
+under the forward span — :class:`~repro.obs.index.SpanIndex` then shows
+the cross-FPGA critical path end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.directory import ServiceInstance, ServiceSpec
+from repro.errors import ConfigError, ServiceUnavailable
+from repro.net.transport import ReliableEndpoint
+from repro.policy import RetryPolicy
+from repro.sim import Event
+
+__all__ = ["FRONTEND_PORT", "BackendHealth", "FrontEnd"]
+
+#: the well-known port clients address their requests to
+FRONTEND_PORT = 7000
+
+
+class BackendHealth:
+    """Liveness ledger for one service instance."""
+
+    #: consecutive unanswered probes/attempts before an instance is dead
+    DEAD_AFTER = 3
+
+    __slots__ = ("misses", "outstanding", "served", "probes_sent",
+                 "probe_misses")
+
+    def __init__(self) -> None:
+        self.misses = 0
+        self.outstanding = 0  # requests dispatched, not yet resolved
+        self.served = 0
+        self.probes_sent = 0
+        self.probe_misses = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self.misses < self.DEAD_AFTER
+
+    def mark_ok(self) -> None:
+        """Any response — data or pong — proves the instance alive."""
+        self.misses = 0
+
+    def mark_miss(self) -> None:
+        self.misses += 1
+
+    def mark_dead(self) -> None:
+        """Kernel-reported fault: skip the probation period."""
+        self.misses = max(self.misses, self.DEAD_AFTER)
+
+
+class FrontEnd:
+    """Health-aware, admission-controlled entry point for the cluster."""
+
+    def __init__(
+        self,
+        cluster,
+        mac: str = "frontend",
+        max_pending: int = 64,
+        batch_size: int = 4,
+        batch_window: int = 200,
+        retry: Optional[RetryPolicy] = None,
+        heartbeat_interval: int = 10_000,
+        window: int = 16,
+        transport_timeout: int = 50_000,
+    ):
+        if max_pending < 1:
+            raise ConfigError(f"max_pending must be >= 1, got {max_pending}")
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.fabric = cluster.fabric
+        self.directory = cluster.directory
+        self.spans = cluster.spans
+        self.mac = mac
+        self.max_pending = max_pending
+        self.batch_size = batch_size
+        self.batch_window = batch_window
+        self.retry = retry if retry is not None else RetryPolicy(
+            deadline=300_000, attempt_timeout=30_000,
+            backoff_base=200, backoff_cap=2_000,
+        )
+        self.heartbeat_interval = heartbeat_interval
+        self.window = window
+        self.transport_timeout = transport_timeout
+
+        self._peers: Dict[str, ReliableEndpoint] = {}
+        self._irid = itertools.count(1)
+        #: internal request id -> (waiter event, instance iid)
+        self._awaiting: Dict[int, Tuple[Event, str]] = {}
+        self._queues: Dict[str, List[Tuple[int, Any, int]]] = {}
+        self._kicks: Dict[str, Event] = {}
+        self._probe_stuck: Dict[str, int] = {}
+        self._bid = itertools.count(1)
+        self.health: Dict[str, BackendHealth] = {}
+        self._tracked: Dict[str, ServiceInstance] = {}
+
+        self.inflight = 0
+        self.requests_admitted = 0
+        self.requests_rejected = 0
+        self.requests_failed = 0
+        self.responses_sent = 0
+        self.batches_sent = 0
+        self.failovers = 0
+
+        self.fabric.attach(mac, self._rx_frame)
+        for fpga, system in enumerate(cluster.systems):
+            system.fault_manager.on_fault.append(self._fault_hook(fpga))
+        self.track_all()
+
+    # -- instance tracking -------------------------------------------------
+
+    def track_all(self) -> None:
+        """Start health tracking for every deployed instance.
+
+        Called at construction and by the cluster after each deploy;
+        idempotent per instance.
+        """
+        for spec in self.directory.services.values():
+            for inst in spec.instances:
+                self._track(inst)
+
+    def _track(self, inst: ServiceInstance) -> None:
+        iid = inst.iid
+        if iid in self._tracked:
+            return
+        self._tracked[iid] = inst
+        self.health[iid] = BackendHealth()
+        self._queues[iid] = []
+        self._probe_stuck[iid] = 0
+        self.engine.process(self._flusher(inst), name=f"fe.flush.{iid}")
+        self.engine.process(self._prober(inst), name=f"fe.probe.{iid}")
+
+    def _fault_hook(self, fpga: int):
+        def on_fault(tile, record) -> None:
+            if record.action != "drained":
+                return  # a killed context leaves the instance serving
+            for inst in self.directory.instances_on(fpga, node=tile.node):
+                self._fail_instance(inst.iid, f"{tile.endpoint} drained")
+        return on_fault
+
+    def _fail_instance(self, iid: str, why: str) -> None:
+        """Kernel said this instance is gone: fail its pending work now."""
+        health = self.health.get(iid)
+        if health is None:
+            return
+        health.mark_dead()
+        queue = self._queues.get(iid, [])
+        dead = [irid for irid, _body, _nb in queue]
+        del queue[:]
+        dead += [irid for irid, (_ev, owner) in self._awaiting.items()
+                 if owner == iid]
+        for irid in dead:
+            entry = self._awaiting.pop(irid, None)
+            if entry is not None:
+                waiter, _owner = entry
+                health.outstanding -= 1
+                if not waiter.triggered:
+                    waiter.fail(ServiceUnavailable(f"{iid} down: {why}"))
+
+    # -- fabric plumbing ---------------------------------------------------
+
+    def _peer(self, peer_mac: str) -> ReliableEndpoint:
+        if peer_mac not in self._peers:
+            endpoint = ReliableEndpoint(
+                self.engine, self.fabric.transmit, self.mac, peer_mac,
+                window=self.window, timeout=self.transport_timeout,
+                name=f"fe.{self.mac}->{peer_mac}",
+            )
+            self._peers[peer_mac] = endpoint
+            self.engine.process(self._pump(endpoint, peer_mac),
+                                name=f"fe.pump.{peer_mac}")
+        return self._peers[peer_mac]
+
+    def _rx_frame(self, frame) -> None:
+        if getattr(frame, "corrupted", False):
+            return
+        self._peer(frame.src_mac).deliver_frame(frame)
+
+    def _pump(self, endpoint: ReliableEndpoint, peer_mac: str):
+        """One pump per peer: client requests in, backend responses in."""
+        while True:
+            payload = yield endpoint.recv()
+            data = payload.get("data")
+            if not (isinstance(data, tuple) and len(data) == 3):
+                continue
+            tag, rid, body = data
+            if tag == "req":
+                self._admit(peer_mac, rid, body)
+            elif tag == "resp":
+                self._complete(rid, body)
+            elif tag == "batchresp":
+                for irid, out_body, _nbytes in body:
+                    self._complete(irid, out_body)
+
+    def _complete(self, irid: int, body: Any) -> None:
+        entry = self._awaiting.pop(irid, None)
+        if entry is None:
+            return  # late response to an abandoned attempt
+        waiter, iid = entry
+        health = self.health[iid]
+        health.mark_ok()
+        health.outstanding -= 1
+        health.served += 1
+        if not waiter.triggered:
+            waiter.succeed(body)
+
+    def _abandon(self, irid: int) -> None:
+        """Per-attempt timeout fired: stop waiting, count the miss."""
+        entry = self._awaiting.pop(irid, None)
+        if entry is None:
+            return
+        _waiter, iid = entry
+        health = self.health[iid]
+        health.outstanding -= 1
+        health.mark_miss()
+
+    # -- admission + serving ----------------------------------------------
+
+    def _admit(self, client_mac: str, rid: int, req: Any) -> None:
+        if not isinstance(req, dict) or "service" not in req:
+            self._reply(client_mac, rid, {"ok": False,
+                                          "error": "malformed request"})
+            return
+        if self.inflight >= self.max_pending:
+            self.requests_rejected += 1
+            self._reply(client_mac, rid,
+                        {"ok": False, "rejected": True})
+            return
+        self.inflight += 1
+        self.requests_admitted += 1
+        self.engine.process(self._serve(client_mac, rid, req),
+                            name=f"fe.serve.{rid}")
+
+    def _serve(self, client_mac: str, rid: int, req: Dict[str, Any]):
+        service = req["service"]
+        try:
+            spec = self.directory.spec(service)
+        except ConfigError as err:
+            self.inflight -= 1
+            self.requests_failed += 1
+            self._reply(client_mac, rid, {"ok": False, "error": str(err)})
+            return
+        key = req.get("key")
+        candidates = spec.candidates(key)
+        trace_id = root = 0
+        if self.spans.enabled:
+            trace_id = self.spans.new_trace()
+            root = self.spans.open(trace_id, f"frontend:{service}",
+                                   "cluster", self.mac, self.engine.now,
+                                   service=service, key=key)
+        rotation = itertools.count()
+
+        def attempt(attempt_timeout: int) -> Event:
+            inst = self._pick(spec, candidates, next(rotation))
+            return self._dispatch(spec, inst, req, attempt_timeout,
+                                  trace_id, root)
+
+        def count_failover() -> None:
+            self.failovers += 1
+
+        done = self.retry.drive(
+            self.engine, attempt, retry_on=(ServiceUnavailable,),
+            describe=f"route {service!r}", on_retry=count_failover,
+            name=f"fe.route.{rid}",
+        )
+        failed = False
+        try:
+            out_body = yield done
+        except BaseException as err:
+            failed = True
+            self.requests_failed += 1
+            self._reply(client_mac, rid, {"ok": False, "error": str(err)})
+        else:
+            self._reply(client_mac, rid, {"ok": True, "body": out_body})
+        finally:
+            self.inflight -= 1
+            if root:
+                self.spans.close(root, self.engine.now, failed=failed)
+
+    def _pick(self, spec: ServiceSpec, candidates: List[ServiceInstance],
+              rotation: int) -> ServiceInstance:
+        """Choose the attempt's target; raises when nothing is healthy.
+
+        Sharded requests walk the replica list in order (primary first),
+        advancing one slot per retry.  Stateless requests go to the
+        least-loaded healthy instance.  The raise is retryable — an
+        instance may come back (recovery restart) before the deadline.
+        """
+        healthy = [i for i in candidates if self.health[i.iid].healthy]
+        if not healthy:
+            raise ServiceUnavailable(
+                f"no healthy instance of {spec.name!r}"
+            )
+        if spec.sharded:
+            return healthy[rotation % len(healthy)]
+        return min(healthy,
+                   key=lambda i: (self.health[i.iid].outstanding, i.replica))
+
+    def _dispatch(self, spec: ServiceSpec, inst: ServiceInstance,
+                  req: Dict[str, Any], attempt_timeout: int,
+                  trace_id: int, root: int) -> Event:
+        """Queue one attempt on ``inst``; event resolves with the body."""
+        fwd = 0
+        if trace_id:
+            fwd = self.spans.open(trace_id, f"forward:{inst.iid}",
+                                  "cluster", self.mac, self.engine.now,
+                                  parent_id=root, fpga=inst.fpga,
+                                  node=inst.node)
+        nbytes = int(req.get("nbytes", 64))
+        irid, inner = self._enqueue(inst,
+                                    self._wire_body(req, trace_id, fwd),
+                                    nbytes)
+        if (req.get("write") and spec.sharded and spec.replicate_writes):
+            # replicate the write so failover targets have the data;
+            # best-effort (the client's ack is the addressed replica's)
+            for other in spec.candidates(req.get("key")):
+                if other.iid != inst.iid and self.health[other.iid].healthy:
+                    self._enqueue(other,
+                                  self._wire_body(req, trace_id, fwd),
+                                  nbytes, fire_and_forget=True)
+        outer = self.engine.event(f"fe.attempt.{inst.iid}")
+
+        def settle(ev: Event) -> None:
+            if fwd:
+                self.spans.close(fwd, self.engine.now, failed=ev.failed)
+            if outer.triggered:
+                return
+            if ev.failed:
+                outer.fail(ev.value)
+            else:
+                outer.succeed(ev.value)
+
+        inner.add_callback(settle)
+
+        def expire(_ev: Event) -> None:
+            if inner.triggered:
+                return
+            self._abandon(irid)
+            if fwd:
+                self.spans.close(fwd, self.engine.now, timed_out=True)
+            if not outer.triggered:
+                outer.fail(ServiceUnavailable(
+                    f"{inst.iid} did not answer in {attempt_timeout}"
+                ))
+
+        self.engine.timeout(attempt_timeout).add_callback(expire)
+        return outer
+
+    @staticmethod
+    def _wire_body(req: Dict[str, Any], trace_id: int, span: int) -> Any:
+        body = req.get("body")
+        if trace_id and isinstance(body, dict):
+            body = dict(body)
+            body["_trace"] = (trace_id, span)
+        return body
+
+    def _enqueue(self, inst: ServiceInstance, body: Any, nbytes: int,
+                 fire_and_forget: bool = False) -> Tuple[int, Event]:
+        irid = next(self._irid)
+        waiter = self.engine.event(f"fe.req#{irid}")
+        self._awaiting[irid] = (waiter, inst.iid)
+        self.health[inst.iid].outstanding += 1
+        self._queues[inst.iid].append((irid, body, nbytes))
+        kick = self._kicks.pop(inst.iid, None)
+        if kick is not None and not kick.triggered:
+            kick.succeed(None)
+        if fire_and_forget:
+            # cap how long the bookkeeping lingers if the replica dies
+            self.engine.timeout(self.retry.attempt_timeout).add_callback(
+                lambda _ev, r=irid: self._abandon_quietly(r))
+        return irid, waiter
+
+    def _abandon_quietly(self, irid: int) -> None:
+        """Drop a fire-and-forget entry without charging a health miss."""
+        entry = self._awaiting.pop(irid, None)
+        if entry is not None:
+            self.health[entry[1]].outstanding -= 1
+
+    # -- per-instance batching + probing ----------------------------------
+
+    def _flusher(self, inst: ServiceInstance):
+        """Drain one instance's queue as batch envelopes."""
+        iid = inst.iid
+        queue = self._queues[iid]
+        mac = self.cluster.systems[inst.fpga].config.net.mac_addr
+        while True:
+            if not queue:
+                kick = self.engine.event(f"fe.kick.{iid}")
+                self._kicks[iid] = kick
+                yield kick
+            if len(queue) < self.batch_size and self.batch_window > 0:
+                yield self.batch_window  # brief accumulation window
+            take = queue[:self.batch_size]
+            del queue[:self.batch_size]
+            # entries may have been failed over while we accumulated
+            take = [(irid, body, nb) for irid, body, nb in take
+                    if irid in self._awaiting]
+            if not take:
+                continue
+            bid = next(self._bid)
+            entries = [(irid, body) for irid, body, _nb in take]
+            nbytes = sum(nb for _irid, _body, nb in take) + 16 * len(take)
+            sent = self._peer(mac).send(
+                {"port": inst.port, "data": ("batch", bid, entries),
+                 "src_mac": self.mac},
+                payload_bytes=max(64, nbytes),
+            )
+            self.batches_sent += 1
+            # pace on the transport ack, but never wedge on a dead peer
+            yield self.engine.any_of(
+                [sent, self.engine.timeout(self.transport_timeout)])
+
+    def _prober(self, inst: ServiceInstance):
+        """Periodic liveness pings (answered without handler cost)."""
+        iid = inst.iid
+        mac = self.cluster.systems[inst.fpga].config.net.mac_addr
+        health = self.health[iid]
+        while True:
+            yield self.heartbeat_interval
+            if self._probe_stuck[iid] >= 2:
+                # transport to this board is wedged (detached MAC):
+                # further probes would only pile up in the send window
+                continue
+            irid = next(self._irid)
+            waiter = self.engine.event(f"fe.probe#{irid}")
+            self._awaiting[irid] = (waiter, iid)
+            health.outstanding += 1
+            health.probes_sent += 1
+            self._probe_stuck[iid] += 1
+            sent = self._peer(mac).send(
+                {"port": inst.port, "data": ("req", irid, {"op": "ping"}),
+                 "src_mac": self.mac},
+                payload_bytes=16,
+            )
+            sent.add_callback(lambda _ev, i=iid: self._probe_unstick(i))
+            expire = self.engine.timeout(self.heartbeat_interval)
+            try:
+                yield self.engine.any_of([waiter, expire])
+            except ServiceUnavailable:
+                # instance declared dead mid-probe (fault hook failed the
+                # waiter); the bookkeeping is already cleaned up
+                continue
+            if not waiter.triggered:
+                self._abandon(irid)
+                health.probe_misses += 1
+
+    def _probe_unstick(self, iid: str) -> None:
+        self._probe_stuck[iid] -= 1
+
+    # -- client replies ----------------------------------------------------
+
+    def _reply(self, client_mac: str, rid: int, body: Any) -> None:
+        self.responses_sent += 1
+        self.engine.process(
+            self._send_reply(client_mac, rid, body),
+            name=f"fe.reply.{rid}",
+        )
+
+    def _send_reply(self, client_mac: str, rid: int, body: Any):
+        yield self._peer(client_mac).send(
+            {"port": FRONTEND_PORT, "data": ("resp", rid, body),
+             "src_mac": self.mac},
+            payload_bytes=64,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def health_table(self) -> Dict[str, Dict[str, Any]]:
+        """Live health snapshot, keyed by instance id."""
+        return {
+            iid: {"healthy": h.healthy, "misses": h.misses,
+                  "outstanding": h.outstanding, "served": h.served,
+                  "probes_sent": h.probes_sent,
+                  "probe_misses": h.probe_misses}
+            for iid, h in self.health.items()
+        }

@@ -6,7 +6,15 @@ in tile slots, fail-stop/preemptible fault handling, and the management
 plane.  :class:`ApiarySystem` assembles all of it on one simulated FPGA.
 """
 
+from repro.kernel.config import (
+    FaultConfig,
+    MemConfig,
+    NetConfig,
+    NocConfig,
+    SystemConfig,
+)
 from repro.kernel.fault import FaultManager, FaultPolicy, FaultRecord
+from repro.kernel.naming import Namespace
 from repro.kernel.message import (
     MESSAGE_HEADER_BYTES,
     MemAccess,
@@ -33,6 +41,12 @@ from repro.kernel.system import ApiarySystem, build_figure1
 from repro.kernel.tile import Tile
 
 __all__ = [
+    "SystemConfig",
+    "NocConfig",
+    "MemConfig",
+    "NetConfig",
+    "FaultConfig",
+    "Namespace",
     "Message",
     "MessageKind",
     "MemAccess",

@@ -12,11 +12,12 @@ to AmorphOS/Coyote.  Callers name the target tile explicitly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.cap.capability import CapabilityRef, Rights
 from repro.cap.captable import CapabilityStore
-from repro.errors import ConfigError, ServiceUnavailable
+from repro.errors import ConfigError
+from repro.kernel.naming import Namespace
 from repro.kernel.tile import Tile
 from repro.sim import Engine, Event, StatsRegistry, Tracer
 
@@ -30,14 +31,17 @@ class MgmtPlane:
         self,
         engine: Engine,
         caps: CapabilityStore,
-        name_table: Dict[str, int],
+        name_table: Union[Namespace, Dict[str, int]],
         tiles: List[Tile],
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ):
         self.engine = engine
         self.caps = caps
-        self.name_table = name_table
+        # accept either the namespace or a raw dict (older call sites);
+        # both wrap the same underlying table the monitors resolve against
+        self.namespace = name_table if isinstance(name_table, Namespace) \
+            else Namespace(name_table)
         self.tiles = tiles
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
@@ -52,25 +56,24 @@ class MgmtPlane:
 
     # -- naming (the per-tile tables of Section 4.3) ---------------------------
 
+    @property
+    def name_table(self) -> Dict[str, int]:
+        """The raw resolution dict (shared with monitors).  Policy code
+        should use :attr:`namespace` / the methods below instead."""
+        return self.namespace.table
+
     def register_endpoint(self, name: str, node: int) -> None:
-        if name in self.name_table and self.name_table[name] != node:
-            raise ConfigError(
-                f"endpoint {name!r} already maps to tile {self.name_table[name]}"
-            )
         if not 0 <= node < len(self.tiles):
             raise ConfigError(f"no tile {node}")
-        self.name_table[name] = node
+        self.namespace.bind(name, node)
         self.tracer.emit(self.engine.now, "mgmt.register", "mgmt",
                          name=name, node=node)
 
     def unregister_endpoint(self, name: str) -> None:
-        self.name_table.pop(name, None)
+        self.namespace.unbind(name)
 
     def resolve(self, name: str) -> int:
-        node = self.name_table.get(name)
-        if node is None:
-            raise ServiceUnavailable(f"no endpoint named {name!r}")
-        return node
+        return self.namespace.lookup(name)
 
     # -- capability policy ---------------------------------------------------------
 
@@ -110,7 +113,7 @@ class MgmtPlane:
         moved = 0
         for endpoint in self.grants_of(old_holder):
             self.send_grants.discard((old_holder, endpoint))
-            if endpoint in self.name_table:
+            if endpoint in self.namespace:
                 self.grant_send(new_holder, endpoint)
                 moved += 1
         return moved
@@ -137,7 +140,7 @@ class MgmtPlane:
         if wire_services:
             for svc in self.service_endpoints:
                 self.grant_send(tile.endpoint, svc)
-                svc_tile = self.tiles[self.name_table[svc]]
+                svc_tile = self.tiles[self.namespace.lookup(svc)]
                 self.grant_send(svc_tile.endpoint, tile.endpoint)
         started = tile.start(accelerator, signed_by=signed_by)
         self.stats.counter("mgmt.loads").inc()
@@ -184,7 +187,8 @@ class MgmtPlane:
         services are exempt (they forward other tenants' traffic).
         """
         throttled = []
-        service_nodes = {self.name_table[s] for s in self.service_endpoints}
+        service_nodes = {self.namespace.lookup(s)
+                         for s in self.service_endpoints}
         for node, tile in enumerate(self.tiles):
             if node in service_nodes:
                 continue
@@ -223,9 +227,9 @@ class MgmtPlane:
                 g for g in self.send_grants if g[0] != tile.endpoint
             }
         # remove any extra endpoint names pointing at this tile
-        for name in [n for n, t in self.name_table.items()
-                     if t == node and n != tile.endpoint]:
-            self.unregister_endpoint(name)
+        for name in self.namespace.names_at(node):
+            if name != tile.endpoint:
+                self.unregister_endpoint(name)
         return tile.stop_and_unload()
 
     def restart(self, node: int, accelerator, endpoint: Optional[str] = None):
@@ -259,8 +263,8 @@ class MgmtPlane:
                 "accelerators that externalize state can migrate (§4.4)"
             )
         if endpoint is None:
-            extra = [n for n, t in self.name_table.items()
-                     if t == node_from and n != source.endpoint]
+            extra = [n for n in self.namespace.names_at(node_from)
+                     if n != source.endpoint]
             endpoint = extra[0] if extra else None
         state = source.accelerator.externalize_state()
         # include any contexts the fault manager parked on the tile

@@ -237,7 +237,7 @@ class RecoveryManager:
             except ReproError:
                 self.stats.counter("recovery.failed_attempts").inc()
                 # the name was registered optimistically; take it back
-                if self.mgmt.name_table.get(dep.endpoint) == node:
+                if self.mgmt.namespace.get(dep.endpoint) == node:
                     self.mgmt.unregister_endpoint(dep.endpoint)
                 continue
             self._finish(dep, old_node, node, old_holder, prior_grants,
@@ -254,7 +254,7 @@ class RecoveryManager:
         # re-mint the authority the dead tile held (peers' caps to the
         # logical endpoint name survive untouched — names rebind, caps don't)
         for endpoint in prior_grants:
-            if endpoint in self.mgmt.name_table:
+            if endpoint in self.mgmt.namespace:
                 self.mgmt.grant_send(new_holder, endpoint)
         if new_node == old_node:
             kind = "restart"

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.cap.capability import CapabilityRef
 from repro.errors import (
+    ConfigError,
     DeadlineExceeded,
     ProtocolError,
     ServiceError,
@@ -34,6 +35,7 @@ from repro.errors import (
 from repro.kernel.message import MemAccess, Message, MessageKind
 from repro.kernel.monitor import Monitor
 from repro.obs.span import SpanRecorder
+from repro.policy import RetryPolicy
 from repro.sim import Channel, Engine, Event, Process
 
 __all__ = ["Shell", "AllocatedSegment"]
@@ -109,13 +111,43 @@ class Shell:
         cap: Optional[CapabilityRef] = None,
         priority: int = 0,
         timeout: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> Event:
         """RPC: event succeeds with the response :class:`Message`.
 
         Failure modes: monitor denial (AccessDenied/ServiceUnavailable),
         an ERROR response (ServiceError), or timeout (DeadlineExceeded,
         a ServiceUnavailable subclass).
+
+        With ``retry=RetryPolicy(...)`` the call is retried under that
+        policy — on service errors, per-attempt timeouts, and fail-stop
+        NACKs, the failure modes a recovering service emits mid-failover —
+        and the returned event fails with :class:`DeadlineExceeded` once
+        the policy's deadline or attempt cap is spent.  Capability denials
+        (``AccessDenied``) propagate immediately: retrying an unauthorized
+        call never helps.  ``timeout`` and ``retry`` are mutually
+        exclusive (the policy's ``attempt_timeout`` governs attempts).
         """
+        if retry is not None:
+            if timeout is not None:
+                raise ConfigError(
+                    "pass either timeout= or retry= to Shell.call, not both "
+                    "(RetryPolicy.attempt_timeout bounds each attempt)"
+                )
+
+            def attempt(attempt_timeout: int) -> Event:
+                return self.call(dst, op, payload=payload,
+                                 payload_bytes=payload_bytes, cap=cap,
+                                 priority=priority, timeout=attempt_timeout)
+
+            def count_retry() -> None:
+                self.calls_retried += 1
+
+            return retry.drive(
+                self.engine, attempt, retry_on=(ServiceError, TileFault),
+                describe=f"call {op!r} to {dst!r}", on_retry=count_retry,
+                name=f"{self.name}.retry.{op}",
+            )
         msg = Message(src=self.name, dst=dst, op=op,
                       kind=MessageKind.REQUEST, payload=payload,
                       payload_bytes=payload_bytes, cap=cap, priority=priority)
@@ -173,42 +205,22 @@ class Shell:
     ):
         """Process generator: ``call`` with deadline + exponential backoff.
 
-        Use via ``msg = yield from shell.call_with_retry(...)``.  Retries on
-        service errors, per-attempt timeouts, and fail-stop NACKs — the
-        failure modes a recovering service emits mid-failover — and raises
-        :class:`DeadlineExceeded` once the overall ``deadline`` (cycles) is
-        spent.  Capability denials (``AccessDenied``) propagate immediately:
-        retrying an unauthorized call never helps.  Backoff is deterministic
-        (no jitter) so seeded experiments replay exactly.
+        .. deprecated:: use ``yield shell.call(dst, op,
+           retry=RetryPolicy(...))`` — this shim builds the equivalent
+           :class:`~repro.policy.RetryPolicy` and delegates.
+
+        Use via ``msg = yield from shell.call_with_retry(...)``; raises
+        :class:`DeadlineExceeded` once the overall ``deadline`` is spent.
         """
-        start = self.engine.now
-        attempt = 0
-        last_error: Optional[BaseException] = None
-        while True:
-            remaining = deadline - (self.engine.now - start)
-            out_of_attempts = (max_attempts is not None
-                               and attempt >= max_attempts)
-            if remaining <= 0 or out_of_attempts:
-                raise DeadlineExceeded(
-                    f"call {op!r} to {dst!r} gave up after {attempt} "
-                    f"attempt(s) in {self.engine.now - start} cycles "
-                    f"(last error: {last_error})"
-                )
-            attempt += 1
-            try:
-                msg = yield self.call(
-                    dst, op, payload=payload, payload_bytes=payload_bytes,
-                    cap=cap, priority=priority,
-                    timeout=min(attempt_timeout, remaining),
-                )
-                return msg
-            except (ServiceError, TileFault) as err:
-                last_error = err
-            self.calls_retried += 1
-            backoff = min(backoff_base * (2 ** (attempt - 1)), backoff_cap)
-            backoff = max(1, min(backoff,
-                                 deadline - (self.engine.now - start)))
-            yield backoff
+        policy = RetryPolicy(deadline=deadline,
+                             attempt_timeout=attempt_timeout,
+                             max_attempts=max_attempts,
+                             backoff_base=backoff_base,
+                             backoff_cap=backoff_cap)
+        msg = yield self.call(dst, op, payload=payload,
+                              payload_bytes=payload_bytes, cap=cap,
+                              priority=priority, retry=policy)
+        return msg
 
     def notify(self, dst: str, op: str, payload: Any = None,
                payload_bytes: int = 0, cap: Optional[CapabilityRef] = None,

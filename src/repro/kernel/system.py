@@ -5,6 +5,16 @@ Builds the whole stack on one simulated FPGA: the NoC, one monitor + shell
 management plane, and — on request — the memory and network services on
 tiles of their own.  Also provides :func:`build_figure1`, the exact
 configuration the paper's Figure 1 draws, used by the F1 experiment.
+
+Construction has two faces:
+
+* ``ApiarySystem(config=SystemConfig(...))`` — the primary path: a typed,
+  validated config object (see :mod:`repro.kernel.config`), which is what
+  the cluster layer derives per-FPGA variants from;
+* the legacy flat kwargs (``ApiarySystem(width=4, mem_tile=0, ...)``) —
+  deprecated but fully working: they are folded into the exact same
+  :class:`SystemConfig` and build through the same code path, so both
+  spellings produce byte-identical systems.
 """
 
 from __future__ import annotations
@@ -17,9 +27,11 @@ from repro.hw.bitstream import DesignRuleChecker
 from repro.hw.device import FpgaPart, part as lookup_part
 from repro.hw.region import ReconfigRegion
 from repro.hw.resources import ResourceBudget, ResourceVector, monitor_cost, router_cost
+from repro.kernel.config import SystemConfig
 from repro.kernel.fault import FaultManager, FaultPolicy
 from repro.kernel.mgmt import MgmtPlane
 from repro.kernel.monitor import Monitor
+from repro.kernel.naming import Namespace
 from repro.kernel.recovery import RecoveryManager
 from repro.kernel.services import (
     HundredGigAdapter,
@@ -45,16 +57,16 @@ __all__ = ["ApiarySystem", "build_figure1"]
 class ApiarySystem:
     """One direct-attached FPGA running Apiary.
 
-    Parameters (the main knobs; see DESIGN.md for the full table)
-    ----------
-    width, height: tile grid dimensions.
-    part_name: FPGA part from the device database (resource budgeting).
-    enforce: monitor checks on/off (off = the A2 "no OS" ablation).
-    rate_limit_flits: per-tile injection rate limit (None = unlimited).
-    mem_tile / with_memory: where/whether to place the memory service.
-    fabric / mac_kind / net_tile: datacenter attachment via a 10G or 100G
-        MAC wrapped by the network service.
-    policy: fault-handling policy (fail-stop or preempt).
+    Preferred construction::
+
+        ApiarySystem(config=SystemConfig(...), engine=..., fabric=...)
+
+    Runtime *objects* stay keyword arguments: ``engine`` (shared clock),
+    ``fabric`` (the datacenter segment this board plugs into), ``spans``
+    (a shared span recorder, so a cluster's systems record one causal
+    trace), and ``drc`` (bitstream screening).  Everything else lives in
+    the config; the flat kwargs below remain as a deprecated path that
+    builds the identical config.
     """
 
     def __init__(
@@ -85,42 +97,70 @@ class ApiarySystem:
         net_tile: int = 1,
         monitor_cap_slots: int = 64,
         router_cls: Optional[type] = None,
+        config: Optional[SystemConfig] = None,
+        spans: Optional[SpanRecorder] = None,
     ):
+        if config is None:
+            # deprecated flat-kwargs path: fold into the one true config
+            config = SystemConfig.from_flat(
+                width=width, height=height, part_name=part_name,
+                enforce=enforce, rate_limit_flits=rate_limit_flits,
+                rate_limit_burst=rate_limit_burst, num_vcs=num_vcs,
+                vc_classes=vc_classes, buffer_depth=buffer_depth,
+                hop_latency=hop_latency, noc_flit_bytes=noc_flit_bytes,
+                policy=policy, seed=seed, with_memory=with_memory,
+                mem_tile=mem_tile, dram_channels=dram_channels,
+                dram_capacity=dram_capacity, dram_timing=dram_timing,
+                mac_kind=mac_kind, mac_addr=mac_addr, net_tile=net_tile,
+                monitor_cap_slots=monitor_cap_slots, router_cls=router_cls,
+            )
+        if fabric is not None:
+            config.validate_attached()
+        self.config = config
+        noc, mem, net = config.noc, config.mem, config.net
+
         self.engine = engine or Engine()
-        self.rng = RngPool(seed=seed)
+        self.rng = RngPool(seed=config.seed)
         self.stats = StatsRegistry()
         self.tracer = Tracer()
         #: one system-wide span recorder; the network, every monitor (which
         #: inherits via its NI), and the DRAM device all share it so a
-        #: request's spans land in a single causal trace
-        self.spans = SpanRecorder()
-        self.part: FpgaPart = lookup_part(part_name)
-        self.topo = Mesh2D(width, height)
-        self.enforce = enforce
-        network_kwargs = {} if router_cls is None else {"router_cls": router_cls}
+        #: request's spans land in a single causal trace.  A cluster passes
+        #: one recorder to all its systems, making traces cross-FPGA.
+        self.spans = spans if spans is not None else SpanRecorder()
+        self.part: FpgaPart = lookup_part(config.part_name)
+        self.topo = Mesh2D(noc.width, noc.height)
+        self.enforce = config.fault.enforce
+        network_kwargs = {} if noc.router_cls is None \
+            else {"router_cls": noc.router_cls}
         self.network = Network(
             self.engine, self.topo,
-            num_vcs=num_vcs, vc_classes=vc_classes,
-            buffer_depth=buffer_depth, hop_latency=hop_latency,
-            flit_bytes=noc_flit_bytes,
+            num_vcs=noc.num_vcs, vc_classes=noc.vc_classes,
+            buffer_depth=noc.buffer_depth, hop_latency=noc.hop_latency,
+            flit_bytes=noc.flit_bytes,
             stats=self.stats, tracer=self.tracer,
             spans=self.spans,
             **network_kwargs,
         )
-        self.caps = CapabilityStore(slots_per_holder=monitor_cap_slots)
+        self.caps = CapabilityStore(slots_per_holder=config.monitor_cap_slots)
         self.segments = SegmentTable()
-        self.name_table: Dict[str, int] = {}
-        self.fault_manager = FaultManager(self.engine, policy=policy,
+        self.namespace = Namespace()
+        #: the raw name table monitors resolve against; shared in place
+        #: with :attr:`namespace` — policy code goes through the namespace
+        self.name_table: Dict[str, int] = self.namespace.table
+        self.fault_manager = FaultManager(self.engine,
+                                          policy=config.fault.policy,
                                           stats=self.stats, tracer=self.tracer)
         self.drc = drc
 
         # resource budgeting: routers + monitors are the static framework
         self.budget = ResourceBudget(self.part)
         tiles = self.topo.node_count
-        r_cost = router_cost(num_vcs=num_vcs, buffer_depth=buffer_depth,
+        r_cost = router_cost(num_vcs=noc.num_vcs,
+                             buffer_depth=noc.buffer_depth,
                              hardened=self.part.hardened_noc)
-        m_cost = monitor_cost(cap_table_size=monitor_cap_slots,
-                              rate_limited=rate_limit_flits is not None)
+        m_cost = monitor_cost(cap_table_size=config.monitor_cap_slots,
+                              rate_limited=noc.rate_limit_flits is not None)
         for node in range(tiles):
             self.budget.allocate(f"apiary.router{node}", r_cost)
             self.budget.allocate(f"apiary.monitor{node}", m_cost)
@@ -140,10 +180,10 @@ class ApiarySystem:
                 caps=self.caps,
                 segments=self.segments,
                 name_table=self.name_table,
-                enforce=enforce,
-                rate_limit_flits_per_cycle=rate_limit_flits,
-                rate_limit_burst=rate_limit_burst,
-                cap_table_size=monitor_cap_slots,
+                enforce=config.fault.enforce,
+                rate_limit_flits_per_cycle=noc.rate_limit_flits,
+                rate_limit_burst=noc.rate_limit_burst,
+                cap_table_size=config.monitor_cap_slots,
                 stats=self.stats,
                 tracer=self.tracer,
             )
@@ -152,7 +192,7 @@ class ApiarySystem:
             self.tiles.append(Tile(self.engine, node, monitor, region,
                                    fault_manager=self.fault_manager))
 
-        self.mgmt = MgmtPlane(self.engine, self.caps, self.name_table,
+        self.mgmt = MgmtPlane(self.engine, self.caps, self.namespace,
                               self.tiles, stats=self.stats, tracer=self.tracer)
         for node in range(tiles):
             self.mgmt.register_endpoint(f"tile{node}", node)
@@ -161,30 +201,31 @@ class ApiarySystem:
         self.dram: Optional[Dram] = None
         self.mem_service: Optional[MemoryService] = None
         self._boot_events: List[Event] = []
-        if with_memory:
-            self.dram = Dram(self.engine, channels=dram_channels,
-                             capacity_bytes=dram_capacity, timing=dram_timing)
+        if mem.enabled:
+            self.dram = Dram(self.engine, channels=mem.dram_channels,
+                             capacity_bytes=mem.dram_capacity,
+                             timing=mem.dram_timing)
             self.dram.spans = self.spans
             self.mem_service = MemoryService("svc.mem", self.dram, self.caps,
                                              self.segments)
             self._boot_events.append(
-                self.mgmt.load_service(mem_tile, self.mem_service, "svc.mem")
+                self.mgmt.load_service(mem.tile, self.mem_service, "svc.mem")
             )
 
         self.net_service: Optional[NetworkService] = None
         self.mac = None
         if fabric is not None:
-            if mac_kind == "100g":
-                self.mac = HundredGigMac(self.engine, fabric, mac_addr)
+            if net.mac_kind == "100g":
+                self.mac = HundredGigMac(self.engine, fabric, net.mac_addr)
                 adapter = HundredGigAdapter(self.mac)
-            elif mac_kind == "10g":
-                self.mac = TenGigMac(self.engine, fabric, mac_addr)
+            elif net.mac_kind == "10g":
+                self.mac = TenGigMac(self.engine, fabric, net.mac_addr)
                 adapter = TenGigAdapter(self.mac)
-            else:
-                raise ConfigError(f"unknown MAC kind {mac_kind!r}")
+            else:  # pragma: no cover - config validation rejects earlier
+                raise ConfigError(f"unknown MAC kind {net.mac_kind!r}")
             self.net_service = NetworkService("svc.net", adapter)
             self._boot_events.append(
-                self.mgmt.load_service(net_tile, self.net_service, "svc.net")
+                self.mgmt.load_service(net.tile, self.net_service, "svc.net")
             )
 
         self.recovery: Optional[RecoveryManager] = None
@@ -284,7 +325,7 @@ class ApiarySystem:
             f"OS overhead {self.apiary_overhead_fraction():.1%} of device)",
         ]
         reverse = {}
-        for name, node in self.name_table.items():
+        for name, node in self.namespace.items():
             if not name.startswith("tile"):
                 reverse.setdefault(node, []).append(name)
         width = self.topo.width
@@ -320,8 +361,6 @@ def build_figure1(engine: Optional[Engine] = None,
     engine = engine or Engine()
     if fabric is None:
         fabric = EthernetFabric(engine, latency_cycles=500)
-    system = ApiarySystem(
-        width=3, height=2, engine=engine,
-        mem_tile=0, fabric=fabric, net_tile=1,
-    )
+    system = ApiarySystem(engine=engine, fabric=fabric,
+                          config=SystemConfig.figure1())
     return system

@@ -1,0 +1,129 @@
+"""Shared retry/timeout policy — one vocabulary for every client.
+
+Before this module, the shell's ``call_with_retry`` and the remote
+client's ``request_with_retry`` each carried their own five knobs
+(deadline, per-attempt timeout, attempt cap, backoff base/cap) and their
+own copy of the deadline/backoff loop.  :class:`RetryPolicy` folds both
+into one frozen dataclass that plugs into the primary request APIs::
+
+    msg  = yield shell.call("svc.kv", "kv.get", retry=RetryPolicy())
+    resp = yield client.request(mac, port, body, retry=RetryPolicy(
+        deadline=400_000, attempt_timeout=50_000))
+
+Backoff is deterministic (exponential, no jitter) so seeded experiments
+replay exactly — the property every byte-identity test in this repo
+leans on.  The old ``*_with_retry`` helpers remain as deprecated shims
+that build a policy and delegate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+from repro.errors import ConfigError, DeadlineExceeded
+from repro.sim import Engine, Event
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline + per-attempt timeout + exponential backoff.
+
+    Parameters
+    ----------
+    deadline: total cycles the caller is willing to wait across attempts.
+    attempt_timeout: per-attempt timeout (clamped to what remains of the
+        deadline, so the last attempt never overshoots).
+    max_attempts: optional attempt cap (None = until the deadline).
+    backoff_base / backoff_cap: exponential backoff between attempts,
+        ``min(base * 2**(attempt-1), cap)``, deterministic by design.
+    """
+
+    deadline: int = 200_000
+    attempt_timeout: int = 20_000
+    max_attempts: Optional[int] = None
+    backoff_base: int = 500
+    backoff_cap: int = 16_000
+
+    def __post_init__(self) -> None:
+        if self.deadline < 1:
+            raise ConfigError(f"deadline must be >= 1, got {self.deadline}")
+        if self.attempt_timeout < 1:
+            raise ConfigError(
+                f"attempt_timeout must be >= 1, got {self.attempt_timeout}"
+            )
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1 or None")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigError("backoff parameters must be >= 0")
+
+    def backoff_for(self, attempt: int) -> int:
+        """Backoff after the ``attempt``-th failure (1-based)."""
+        return min(self.backoff_base * (2 ** (attempt - 1)), self.backoff_cap)
+
+    # -- the one retry loop ------------------------------------------------
+
+    def drive(
+        self,
+        engine: Engine,
+        attempt_fn: Callable[[int], Event],
+        retry_on: Tuple[Type[BaseException], ...],
+        describe: str = "request",
+        on_retry: Optional[Callable[[], None]] = None,
+        name: str = "",
+    ) -> Event:
+        """Run ``attempt_fn`` under this policy; returns the overall event.
+
+        ``attempt_fn(timeout)`` must issue one attempt and return an event
+        that succeeds with the result or fails.  Failures in ``retry_on``
+        are retried (after backoff) until the deadline or attempt cap is
+        spent, at which point the returned event fails with
+        :class:`DeadlineExceeded`; any other failure propagates to the
+        returned event immediately (retrying e.g. a capability denial
+        never helps).  ``on_retry`` is invoked once per retried failure —
+        the hook the shell uses to count ``calls_retried``.
+        """
+        result = engine.event(name or f"retry.{describe}")
+        engine.process(self._loop(engine, attempt_fn, retry_on, describe,
+                                  on_retry, result),
+                       name=name or f"retry.{describe}")
+        return result
+
+    def _loop(self, engine, attempt_fn, retry_on, describe, on_retry,
+              result: Event):
+        start = engine.now
+        attempt = 0
+        last_error: Optional[BaseException] = None
+        while True:
+            remaining = self.deadline - (engine.now - start)
+            out_of_attempts = (self.max_attempts is not None
+                               and attempt >= self.max_attempts)
+            if remaining <= 0 or out_of_attempts:
+                if not result.triggered:
+                    result.fail(DeadlineExceeded(
+                        f"{describe} gave up after {attempt} attempt(s) in "
+                        f"{engine.now - start} cycles "
+                        f"(last error: {last_error})"
+                    ))
+                return
+            attempt += 1
+            try:
+                value = yield attempt_fn(min(self.attempt_timeout, remaining))
+            except retry_on as err:
+                last_error = err
+                if on_retry is not None:
+                    on_retry()
+            except BaseException as err:  # non-retryable: propagate now
+                if not result.triggered:
+                    result.fail(err)
+                return
+            else:
+                if not result.triggered:
+                    result.succeed(value)
+                return
+            backoff = self.backoff_for(attempt)
+            backoff = max(1, min(backoff,
+                                 self.deadline - (engine.now - start)))
+            yield backoff

@@ -1,6 +1,6 @@
 """Workload generation: arrival processes, distributions, remote clients."""
 
-from repro.workloads.client import RemoteClientHost
+from repro.workloads.client import ClusterClient, RemoteClientHost
 from repro.workloads.generators import (
     bimodal_sizes,
     bursty_gaps,
@@ -13,6 +13,7 @@ from repro.workloads.generators import (
 
 __all__ = [
     "RemoteClientHost",
+    "ClusterClient",
     "constant_gaps",
     "poisson_gaps",
     "bursty_gaps",

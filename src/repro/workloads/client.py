@@ -14,9 +14,10 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.errors import ConfigError, DeadlineExceeded
 from repro.net.frame import EthernetFabric
 from repro.net.transport import ReliableEndpoint
+from repro.policy import RetryPolicy
 from repro.sim import Channel, Engine, Event, Histogram
 
-__all__ = ["RemoteClientHost"]
+__all__ = ["RemoteClientHost", "ClusterClient"]
 
 
 class RemoteClientHost:
@@ -76,8 +77,31 @@ class RemoteClientHost:
                 waiter.succeed(body)
 
     def request(self, peer_mac: str, port: int, body: Any,
-                nbytes: int = 64, timeout: Optional[int] = None) -> Event:
-        """Issue one request; event succeeds with the response body."""
+                nbytes: int = 64, timeout: Optional[int] = None,
+                retry: Optional[RetryPolicy] = None) -> Event:
+        """Issue one request; event succeeds with the response body.
+
+        With ``retry=RetryPolicy(...)`` the request is retried under that
+        policy: each attempt re-sends with a fresh id, so a response to a
+        timed-out attempt is simply dropped — the failover-survival
+        behaviour the recovery subsystem assumes of well-behaved clients.
+        ``timeout`` and ``retry`` are mutually exclusive.
+        """
+        if retry is not None:
+            if timeout is not None:
+                raise ConfigError(
+                    "pass either timeout= or retry= to request, not both"
+                )
+
+            def attempt(attempt_timeout: int) -> Event:
+                return self.request(peer_mac, port, body, nbytes=nbytes,
+                                    timeout=attempt_timeout)
+
+            return retry.drive(
+                self.engine, attempt, retry_on=(ConfigError,),
+                describe=f"request to {peer_mac}:{port}",
+                name=f"{self.mac}.retry",
+            )
         rid = next(self._rid)
         done = self.engine.event(f"{self.mac}.req#{rid}")
         self._pending[rid] = done
@@ -102,33 +126,20 @@ class RemoteClientHost:
                            backoff_cap: int = 32_000):
         """Process generator: one request, retried until ``deadline``.
 
+        .. deprecated:: use ``yield client.request(...,
+           retry=RetryPolicy(...))`` — this shim builds the equivalent
+           policy and delegates.
+
         ``yield from`` it; returns the response body or raises
-        :class:`DeadlineExceeded`.  Each attempt re-sends the request with a
-        fresh id, so a response to a timed-out attempt is simply dropped —
-        the failover-survival behaviour the recovery subsystem assumes of
-        well-behaved clients.  Backoff is deterministic (seeded runs replay).
+        :class:`DeadlineExceeded` once the deadline is spent.
         """
-        start = self.engine.now
-        attempt = 0
-        while True:
-            remaining = deadline - (self.engine.now - start)
-            if remaining <= 0:
-                raise DeadlineExceeded(
-                    f"request to {peer_mac}:{port} gave up after {attempt} "
-                    f"attempt(s)"
-                )
-            attempt += 1
-            try:
-                response = yield self.request(
-                    peer_mac, port, body, nbytes=nbytes,
-                    timeout=min(attempt_timeout, remaining),
-                )
-                return response
-            except ConfigError:
-                pass  # attempt timed out; back off and retry
-            backoff = min(backoff_base * (2 ** (attempt - 1)), backoff_cap)
-            yield max(1, min(backoff,
-                             deadline - (self.engine.now - start)))
+        policy = RetryPolicy(deadline=deadline,
+                             attempt_timeout=attempt_timeout,
+                             backoff_base=backoff_base,
+                             backoff_cap=backoff_cap)
+        response = yield self.request(peer_mac, port, body, nbytes=nbytes,
+                                      retry=policy)
+        return response
 
     def closed_loop(self, peer_mac: str, port: int, bodies: List[Any],
                     nbytes: int = 64, gaps: Optional[List[int]] = None,
@@ -169,3 +180,69 @@ class RemoteClientHost:
                     yield done
                 except ConfigError:
                     pass
+
+
+class ClusterClient(RemoteClientHost):
+    """A client that addresses *services*, not boards.
+
+    The cluster-aware face of :class:`RemoteClientHost`: instead of a
+    ``(mac, port)`` address the caller names a service; the front-end
+    resolves it through the service directory (shard by ``key``,
+    least-loaded for stateless), handles backend health and failover, and
+    answers ``{"ok": True, "body": ...}`` — or ``{"ok": False,
+    "rejected": True}`` when admission control sheds load.
+    """
+
+    def __init__(self, engine: Engine, fabric: EthernetFabric, mac: str,
+                 frontend_mac: str = "frontend", frontend_port: int = 7000,
+                 window: int = 16, transport_timeout: int = 50_000):
+        super().__init__(engine, fabric, mac, window=window,
+                         transport_timeout=transport_timeout)
+        self.frontend_mac = frontend_mac
+        self.frontend_port = frontend_port
+        self.ok = 0
+        self.rejected = 0
+        self.failed = 0
+
+    def call_service(self, service: str, body: Any, key: Any = None,
+                     write: bool = False, nbytes: int = 64,
+                     timeout: Optional[int] = None,
+                     retry: Optional[RetryPolicy] = None) -> Event:
+        """One request by service name; succeeds with the front-end reply."""
+        req = {"service": service, "body": body, "nbytes": nbytes}
+        if key is not None:
+            req["key"] = key
+        if write:
+            req["write"] = True
+        return self.request(self.frontend_mac, self.frontend_port, req,
+                            nbytes=nbytes, timeout=timeout, retry=retry)
+
+    def closed_loop_service(self, service: str, requests: List[Dict[str, Any]],
+                            timeout: int = 400_000,
+                            gap: int = 0):
+        """Process generator: issue ``requests`` one at a time.
+
+        Each entry is ``{"body": ..., "key"?: ..., "write"?: ...}``.
+        Records latency for completed requests and tallies
+        ``ok/rejected/failed`` — the raw material of the S1 scaling and
+        availability numbers.
+        """
+        for req in requests:
+            if gap:
+                yield gap
+            start = self.engine.now
+            try:
+                reply = yield self.call_service(
+                    service, req.get("body"), key=req.get("key"),
+                    write=bool(req.get("write")),
+                    nbytes=int(req.get("nbytes", 64)), timeout=timeout)
+            except (ConfigError, DeadlineExceeded):
+                self.failed += 1
+                continue
+            if isinstance(reply, dict) and reply.get("ok"):
+                self.ok += 1
+                self.latency.record(self.engine.now - start)
+            elif isinstance(reply, dict) and reply.get("rejected"):
+                self.rejected += 1
+            else:
+                self.failed += 1

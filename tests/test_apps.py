@@ -247,8 +247,8 @@ class TestFigure1:
         system = build_figure1()
         system.boot()
         assert system.topo.node_count == 6
-        assert "svc.mem" in system.name_table
-        assert "svc.net" in system.name_table
+        assert "svc.mem" in system.namespace
+        assert "svc.net" in system.namespace
 
     def test_figure1_describe_renders_grid(self):
         system = build_figure1()

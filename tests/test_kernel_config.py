@@ -1,0 +1,151 @@
+"""The SystemConfig API: validation, presets, flat-kwargs equivalence.
+
+The redesign's core promise: ``ApiarySystem(config=SystemConfig(...))``
+and the deprecated flat kwargs build **identical** systems — same
+structure, same runtime behaviour, byte-identical stats on the same
+seeded workload.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.apps.service import PortedService
+from repro.errors import ConfigError
+from repro.kernel import (
+    ApiarySystem,
+    FaultConfig,
+    MemConfig,
+    NetConfig,
+    NocConfig,
+    SystemConfig,
+)
+from repro.net.frame import EthernetFabric
+from repro.sim import Engine
+from repro.workloads import RemoteClientHost
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = SystemConfig()
+        assert cfg.noc.tiles == 16
+        assert cfg.mem.enabled and cfg.net.mac_kind == "100g"
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            NocConfig(width=0, height=4)
+
+    def test_bad_mac_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            NetConfig(mac_kind="400g")
+
+    def test_mem_net_tile_collision_only_when_attached(self):
+        cfg = SystemConfig(mem=MemConfig(tile=1), net=NetConfig(tile=1))
+        # fabric-less systems never instantiate the net service: fine
+        ApiarySystem(config=cfg)
+        engine = Engine()
+        fabric = EthernetFabric(engine, latency_cycles=500)
+        with pytest.raises(ConfigError):
+            ApiarySystem(config=cfg, engine=engine, fabric=fabric)
+
+    def test_net_tile_out_of_range_when_attached(self):
+        cfg = SystemConfig(noc=NocConfig(width=2, height=2),
+                           net=NetConfig(tile=9))
+        engine = Engine()
+        fabric = EthernetFabric(engine, latency_cycles=500)
+        with pytest.raises(ConfigError):
+            ApiarySystem(config=cfg, engine=engine, fabric=fabric)
+
+    def test_configs_are_frozen(self):
+        cfg = SystemConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.seed = 7
+
+    def test_derivation_via_replace(self):
+        base = SystemConfig.figure1()
+        derived = base.with_mac("fpga3")
+        assert derived.net.mac_addr == "fpga3"
+        assert base.net.mac_addr != "fpga3"  # original untouched
+        assert derived.noc == base.noc
+
+
+class TestFigure1Preset:
+    def test_figure1_shape(self):
+        cfg = SystemConfig.figure1()
+        assert (cfg.noc.width, cfg.noc.height) == (3, 2)
+        assert cfg.mem.tile == 0 and cfg.net.tile == 1
+
+    def test_figure1_boots(self):
+        engine = Engine()
+        fabric = EthernetFabric(engine, latency_cycles=500)
+        system = ApiarySystem(engine=engine, fabric=fabric,
+                              config=SystemConfig.figure1())
+        system.boot()
+        assert system.namespace.lookup("svc.mem") == 0
+        assert system.namespace.lookup("svc.net") == 1
+
+
+class TestFlatKwargsEquivalence:
+    FLAT = dict(width=3, height=2, mem_tile=0, net_tile=1,
+                mac_addr="fpga0", seed=3, num_vcs=2, buffer_depth=4)
+
+    def test_from_flat_round_trip(self):
+        cfg = SystemConfig.from_flat(**self.FLAT)
+        assert cfg.noc.width == 3 and cfg.noc.height == 2
+        assert cfg.seed == 3
+        assert cfg.net.mac_addr == "fpga0"
+
+    @staticmethod
+    def _smoke_run(system, engine, fabric):
+        """A seeded workload exercising NoC, mem, net, and the client path."""
+        system.boot()
+
+        def handler(body):
+            return 800, {"echo": body["x"]}, 64
+
+        started = system.start_app(
+            2, PortedService("echo", port=9100, handler=handler),
+            endpoint="app.echo")
+        engine.run_until_done(started, limit=50_000_000)
+        host = RemoteClientHost(engine, fabric, "host")
+        bodies = [{"x": i} for i in range(20)]
+        done = engine.process(
+            host.closed_loop("fpga0", 9100, bodies, timeout=200_000),
+            name="host.loop")
+        engine.run_until_done(done.done, limit=50_000_000)
+        return {
+            "now": engine.now,
+            "latency": host.latency.samples,
+            "stats": system.stats.snapshot(engine.now),
+        }
+
+    def _build_and_run(self, flat: bool):
+        engine = Engine()
+        fabric = EthernetFabric(engine, latency_cycles=500)
+        if flat:
+            system = ApiarySystem(engine=engine, fabric=fabric, **self.FLAT)
+        else:
+            system = ApiarySystem(engine=engine, fabric=fabric,
+                                  config=SystemConfig.from_flat(**self.FLAT))
+        return self._smoke_run(system, engine, fabric)
+
+    def test_flat_and_config_builds_are_byte_identical(self):
+        via_flat = json.dumps(self._build_and_run(flat=True), sort_keys=True)
+        via_config = json.dumps(self._build_and_run(flat=False),
+                                sort_keys=True)
+        assert via_flat == via_config
+
+    def test_flat_kwargs_still_fully_work(self):
+        system = ApiarySystem(width=3, height=2)
+        assert system.config.noc.tiles == 6
+        system.boot()
+        assert system.namespace.lookup("svc.mem") == 0
+
+
+class TestFaultConfig:
+    def test_policy_flows_through(self):
+        from repro.kernel.fault import FaultPolicy
+        cfg = SystemConfig(fault=FaultConfig(policy=FaultPolicy.PREEMPT))
+        system = ApiarySystem(config=cfg)
+        assert system.fault_manager.policy == FaultPolicy.PREEMPT

@@ -237,7 +237,7 @@ class TestLifecycle:
         system.run_until(done)
         assert not system.tiles[2].occupied
         assert system.caps.holder_count("tile2") == 0
-        assert "app.echo" not in system.name_table
+        assert "app.echo" not in system.namespace
 
     def test_restart_recovers_service(self):
         system = booted()

@@ -59,7 +59,7 @@ def test_migrate_preserves_stream_state():
         2, 4, lambda: PreemptibleVideoEncoder("enc-v2"), endpoint="app.enc"
     ))
     replacement = system.run_until(migration.done)
-    assert system.name_table["app.enc"] == 4
+    assert system.namespace.lookup("app.enc") == 4
     assert not system.tiles[2].occupied
     # the restored instance carries the stream context forward
     assert replacement.streams["s0"]["chunks"] == chunks_before

@@ -64,7 +64,7 @@ class TestDetectionAndRestart:
         assert event.from_node == 2 and event.to_node == 2
         assert event.mttr > 0
         assert system.tiles[2].occupied and not system.tiles[2].failed
-        assert system.name_table["app.svc"] == 2
+        assert system.namespace.lookup("app.svc") == 2
         assert system.stats.counters["recovery.fault_detections"].value >= 1
 
     def test_watchdog_catches_silent_drain(self):
@@ -107,7 +107,7 @@ class TestFailover:
         event = manager.recoveries[0]
         assert event.kind == "failover"
         assert event.to_node == 4
-        assert system.name_table["app.svc"] == 4
+        assert system.namespace.lookup("app.svc") == 4
         assert system.tiles[4].occupied
         # the vacated home slot becomes the new spare
         assert manager.spares == [2]
@@ -136,7 +136,7 @@ class TestFailover:
         system.run(until=system.engine.now + 20_000)
         system.tiles[2].inject_crash()
         system.run(until=system.engine.now + 8_000_000)
-        assert system.name_table["app.svc"] == 4
+        assert system.namespace.lookup("app.svc") == 4
         assert client.ok == 6
 
     def test_busy_spare_skipped(self):
@@ -149,7 +149,7 @@ class TestFailover:
         system.run(until=system.engine.now + 2_000_000)
         # spare occupied: recovery falls back to restart in place
         assert manager.recoveries[0].kind == "restart"
-        assert system.name_table["app.svc"] == 2
+        assert system.namespace.lookup("app.svc") == 2
 
 
 class TestStateResumption:

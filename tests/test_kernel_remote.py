@@ -36,7 +36,7 @@ def build(engine=None):
     started = system.mgmt.load_service(3, proxy, "svc.dict")
     # the proxy is itself a client of svc.net (and receives net.rx events)
     system.mgmt.grant_send("tile3", "svc.net")
-    net_tile = system.tiles[system.name_table["svc.net"]]
+    net_tile = system.tiles[system.namespace.lookup("svc.net")]
     system.mgmt.grant_send(net_tile.endpoint, "tile3")
     system.run_until(started)
     system.run(until=engine.now + 5000)

@@ -19,12 +19,12 @@ class TestAssembly:
     def test_every_tile_registered_by_name(self):
         system = ApiarySystem(width=2, height=2, with_memory=False)
         for node in range(4):
-            assert system.name_table[f"tile{node}"] == node
+            assert system.namespace.lookup(f"tile{node}") == node
 
     def test_memory_service_on_requested_tile(self):
         system = ApiarySystem(width=3, height=2, mem_tile=5)
         system.boot()
-        assert system.name_table["svc.mem"] == 5
+        assert system.namespace.lookup("svc.mem") == 5
         assert system.tiles[5].accelerator is system.mem_service
 
     def test_net_service_requires_fabric(self):
