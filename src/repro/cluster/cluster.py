@@ -106,6 +106,20 @@ class Cluster:
         self.frontend = FrontEnd(self, **kwargs)
         return self.frontend
 
+    def start_autoscaler(self, service: str, **kwargs):
+        """Attach a :class:`~repro.sched.Autoscaler` to one service.
+
+        Requires a running front-end (its per-instance queues are the
+        scaling signal).  Returns the started autoscaler.
+        """
+        from repro.sched import Autoscaler  # avoid a cyclic import
+
+        if self.frontend is None:
+            raise ConfigError("start the front-end before the autoscaler")
+        scaler = Autoscaler(self, service, **kwargs)
+        scaler.start()
+        return scaler
+
     def deploy_stateless(self, service, handler_factory, **kwargs):
         started = self.directory.deploy_stateless(service, handler_factory,
                                                   **kwargs)

@@ -83,6 +83,11 @@ class ServiceInstance:
     shard: Optional[int] = None
     #: replica index within the shard (0 = primary) or instance index
     replica: int = 0
+    #: True once the tile's partial reconfiguration finished and the
+    #: service bound its port — only ready instances take traffic.
+    #: Routing to a still-reconfiguring replica would strand requests on
+    #: an unbound port (the board drops them, the client times out).
+    ready: bool = False
 
     @property
     def iid(self) -> str:
@@ -111,6 +116,12 @@ class ServiceSpec:
     #: sharded writes fan out to every replica of the shard, so a
     #: failover target has the data (set False for cache-like services)
     replicate_writes: bool = True
+    #: next replica index to hand out (monotonic: replica ids are never
+    #: reused, so scale-down + scale-up never aliases an old instance)
+    next_replica: int = 0
+    #: builds a fresh handler per instance; retained so the autoscaler
+    #: can add replicas after the initial deploy (stateless services)
+    handler_factory: Optional[Callable[[], Any]] = None
 
     def candidates(self, key: Any = None) -> List[ServiceInstance]:
         """Routing candidates in preference order.
@@ -120,9 +131,10 @@ class ServiceSpec:
         """
         if self.sharded and key is not None:
             shard = self.ring.shard_for(key)
-            owners = [i for i in self.instances if i.shard == shard]
+            owners = [i for i in self.instances
+                      if i.shard == shard and i.ready]
             return sorted(owners, key=lambda i: i.replica)
-        return list(self.instances)
+        return [i for i in self.instances if i.ready]
 
 
 class ServiceDirectory(Namespace):
@@ -154,7 +166,8 @@ class ServiceDirectory(Namespace):
         """
         if service in self.services:
             raise ConfigError(f"service {service!r} already deployed")
-        spec = ServiceSpec(name=service, sharded=False)
+        spec = ServiceSpec(name=service, sharded=False,
+                           handler_factory=handler_factory)
         started = []
         for idx in range(instances):
             fpga = self._pick_fpga()
@@ -163,8 +176,66 @@ class ServiceDirectory(Namespace):
             started.append(self._load(inst, handler_factory()))
             spec.instances.append(inst)
             self.bind(inst.iid, (inst.fpga, inst.node))
+        spec.next_replica = instances
         self.services[service] = spec
         return started
+
+    def add_instance(self, service: str):
+        """Scale a stateless service out by one replica.
+
+        Places the new instance exactly like :meth:`deploy_stateless`
+        (round-robin FPGA, lowest free tile) and binds it; the caller
+        (normally the autoscaler) re-tracks the front-end so the replica
+        takes traffic once its reconfiguration completes.  Returns
+        ``(instance, load_started_event)``.
+        """
+        spec = self.spec(service)
+        if spec.sharded:
+            raise ConfigError(
+                f"{service!r} is sharded; resharding is out of scope — "
+                "only stateless services scale by instance"
+            )
+        if spec.handler_factory is None:
+            raise ConfigError(f"{service!r} kept no handler factory")
+        fpga = self._pick_fpga()
+        inst = ServiceInstance(service=service, fpga=fpga, node=-1,
+                               port=self._alloc_port(),
+                               replica=spec.next_replica)
+        spec.next_replica += 1
+        started = self._load(inst, spec.handler_factory())
+        spec.instances.append(inst)
+        self.bind(inst.iid, (inst.fpga, inst.node))
+        return inst, started
+
+    def remove_instance(self, service: str,
+                        iid: Optional[str] = None) -> ServiceInstance:
+        """Detach one stateless replica from routing (no teardown here).
+
+        Removes the instance from the spec (so the front-end stops
+        picking it) and unbinds its name.  The *tile* stays loaded — the
+        caller drains in-flight work, retires front-end tracking, then
+        calls ``mgmt.teardown`` itself; splitting it this way keeps the
+        scale-down sequence graceful.  Defaults to the newest replica.
+        """
+        spec = self.spec(service)
+        if spec.sharded:
+            raise ConfigError(f"{service!r} is sharded; shards do not "
+                              "scale down by instance")
+        if not spec.instances:
+            raise ConfigError(f"{service!r} has no instances left")
+        if iid is None:
+            inst = max(spec.instances, key=lambda i: i.replica)
+        else:
+            matches = [i for i in spec.instances if i.iid == iid]
+            if not matches:
+                raise ConfigError(f"no instance {iid!r} of {service!r}")
+            inst = matches[0]
+        spec.instances.remove(inst)
+        self.unbind(inst.iid)
+        system = self.cluster.systems[inst.fpga]
+        if system.recovery is not None:
+            system.recovery.forget(inst.endpoint)
+        return inst
 
     def deploy_sharded(
         self,
@@ -226,10 +297,18 @@ class ServiceDirectory(Namespace):
 
         if system.recovery is not None:
             # keep the instance alive intra-FPGA (restart / spare failover)
-            return system.recovery.deploy(inst.node, factory,
-                                          endpoint=inst.endpoint)
-        return system.mgmt.load(inst.node, factory(),
-                                endpoint=inst.endpoint)
+            started = system.recovery.deploy(inst.node, factory,
+                                             endpoint=inst.endpoint)
+        else:
+            started = system.mgmt.load(inst.node, factory(),
+                                       endpoint=inst.endpoint)
+
+        def mark_ready(ev, i=inst):
+            if not ev.failed:
+                i.ready = True
+
+        started.add_callback(mark_ready)
+        return started
 
     def _pick_fpga(self) -> int:
         fpga = self._next_fpga

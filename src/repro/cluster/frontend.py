@@ -126,6 +126,7 @@ class FrontEnd:
         self._bid = itertools.count(1)
         self.health: Dict[str, BackendHealth] = {}
         self._tracked: Dict[str, ServiceInstance] = {}
+        self._retired: set = set()
 
         self.inflight = 0
         self.requests_admitted = 0
@@ -154,7 +155,7 @@ class FrontEnd:
 
     def _track(self, inst: ServiceInstance) -> None:
         iid = inst.iid
-        if iid in self._tracked:
+        if iid in self._tracked or iid in self._retired:
             return
         self._tracked[iid] = inst
         self.health[iid] = BackendHealth()
@@ -162,6 +163,24 @@ class FrontEnd:
         self._probe_stuck[iid] = 0
         self.engine.process(self._flusher(inst), name=f"fe.flush.{iid}")
         self.engine.process(self._prober(inst), name=f"fe.probe.{iid}")
+
+    def retire(self, iid: str) -> None:
+        """Stop tracking an instance removed by a scale-down.
+
+        The directory already stopped routing to it; this ends its
+        flusher/prober processes and fails anything still awaiting it so
+        the retry policy re-routes to surviving replicas.  Permanent:
+        replica ids are never reused, so a retired iid never comes back.
+        """
+        if iid not in self._tracked:
+            return
+        self._retired.add(iid)
+        self._tracked.pop(iid, None)
+        self._fail_instance(iid, "retired by scale-down")
+        # wake a flusher parked on its kick event so it can exit
+        kick = self._kicks.pop(iid, None)
+        if kick is not None and not kick.triggered:
+            kick.succeed(None)
 
     def _fault_hook(self, fpga: int):
         def on_fault(tile, record) -> None:
@@ -417,6 +436,8 @@ class FrontEnd:
         queue = self._queues[iid]
         mac = self.cluster.systems[inst.fpga].config.net.mac_addr
         while True:
+            if iid in self._retired:
+                return
             if not queue:
                 kick = self.engine.event(f"fe.kick.{iid}")
                 self._kicks[iid] = kick
@@ -450,6 +471,8 @@ class FrontEnd:
         health = self.health[iid]
         while True:
             yield self.heartbeat_interval
+            if iid in self._retired:
+                return
             if self._probe_stuck[iid] >= 2:
                 # transport to this board is wedged (detached MAC):
                 # further probes would only pile up in the send window

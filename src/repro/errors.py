@@ -88,3 +88,19 @@ class BitstreamRejected(ReconfigError):
 
 class ResourceExhausted(ReproError):
     """The FPGA device does not have enough logic/BRAM/DSP resources."""
+
+
+class SchedulerError(ReproError):
+    """Base class for tile-scheduler and autoscaler failures."""
+
+
+class AdmissionRejected(SchedulerError):
+    """The admission controller refused a job at submit time."""
+
+
+class QuotaExceeded(AdmissionRejected):
+    """A tenant is over its running-tile or queued-job quota."""
+
+
+class PlacementFailed(SchedulerError):
+    """No tile satisfies a job's resource/DRC/locality constraints."""

@@ -41,15 +41,44 @@ class ReconfigRegion:
         capacity: ResourceVector,
         drc: Optional[DesignRuleChecker] = None,
         name: str = "slot",
+        stats=None,
     ):
         self.engine = engine
         self.capacity = capacity
         self.drc = drc
         self.name = name
+        self.stats = stats
         self.loaded: Optional[Bitstream] = None
         self._busy = False
         self.loads_completed = 0
         self.loads_rejected = 0
+        self.unloads_completed = 0
+        #: cycles the config port spent streaming frames (loads + unloads) —
+        #: the reconfiguration overhead the scheduler's decisions cost
+        self.busy_cycles_total = 0
+        #: cycles the slot has held a live bitstream (occupancy accounting)
+        self.occupied_cycles_total = 0
+        self.occupied_since: Optional[int] = None
+
+    @property
+    def reconfig_count(self) -> int:
+        """Completed reconfiguration operations (loads + unloads)."""
+        return self.loads_completed + self.unloads_completed
+
+    def occupied_cycles(self, now: Optional[int] = None) -> int:
+        """Total cycles the slot has been occupied, up to ``now``."""
+        total = self.occupied_cycles_total
+        if self.occupied_since is not None:
+            total += (now if now is not None else self.engine.now) \
+                - self.occupied_since
+        return total
+
+    def _account(self, duration: int) -> None:
+        """Record one completed reconfiguration of ``duration`` cycles."""
+        self.busy_cycles_total += duration
+        if self.stats is not None:
+            self.stats.gauge(f"region.{self.name}.busy_cycles").add(duration)
+            self.stats.counter(f"region.{self.name}.reconfigs").inc()
 
     @property
     def occupied(self) -> bool:
@@ -94,14 +123,17 @@ class ReconfigRegion:
                 done.fail(err)
                 return done
         self._busy = True
+        duration = self.load_duration(bitstream)
 
         def finish(_arg) -> None:
             self._busy = False
             self.loaded = bitstream
             self.loads_completed += 1
+            self.occupied_since = self.engine.now
+            self._account(duration)
             done.succeed(bitstream)
 
-        self.engine.schedule(self.load_duration(bitstream), finish)
+        self.engine.schedule(duration, finish)
         return done
 
     def unload(self) -> Event:
@@ -115,11 +147,17 @@ class ReconfigRegion:
             return done
         previous = self.loaded
         self._busy = True
+        duration = max(1, self.load_duration(previous) // 10)
+        if self.occupied_since is not None:
+            self.occupied_cycles_total += self.engine.now - self.occupied_since
+            self.occupied_since = None
 
         def finish(_arg) -> None:
             self._busy = False
             self.loaded = None
+            self.unloads_completed += 1
+            self._account(duration)
             done.succeed(previous)
 
-        self.engine.schedule(max(1, self.load_duration(previous) // 10), finish)
+        self.engine.schedule(duration, finish)
         return done

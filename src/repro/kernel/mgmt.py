@@ -19,6 +19,7 @@ from repro.cap.captable import CapabilityStore
 from repro.errors import ConfigError
 from repro.kernel.naming import Namespace
 from repro.kernel.tile import Tile
+from repro.obs.span import SpanRecorder
 from repro.sim import Engine, Event, StatsRegistry, Tracer
 
 __all__ = ["MgmtPlane"]
@@ -35,6 +36,7 @@ class MgmtPlane:
         tiles: List[Tile],
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        spans: Optional[SpanRecorder] = None,
     ):
         self.engine = engine
         self.caps = caps
@@ -45,6 +47,11 @@ class MgmtPlane:
         self.tiles = tiles
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        #: shared span recorder (disabled by default, so emits are free);
+        #: load/teardown/migrate open spans here, parented under whatever
+        #: ``trace=(trace_id, span_id)`` the caller (e.g. the scheduler)
+        #: passes, so control-plane work shows up in Chrome trace exports
+        self.spans = spans if spans is not None else SpanRecorder()
         #: endpoints considered OS services: new tiles are auto-wired to them
         self.service_endpoints: List[str] = []
         #: (holder, endpoint) pairs granted via grant_send — the policy-level
@@ -120,6 +127,26 @@ class MgmtPlane:
 
     # -- tile lifecycle ----------------------------------------------------------------
 
+    def _open_span(self, name: str,
+                   trace: Optional[Tuple[int, int]],
+                   **detail) -> Tuple[int, int]:
+        """Open a management-plane span; ``(0, 0)`` when tracing is off.
+
+        ``trace=(trace_id, parent_span)`` nests the span under the caller's
+        decision (the scheduler passes its own span here); without it the
+        operation roots a fresh trace, so standalone mgmt calls still show
+        up in exports.
+        """
+        if not self.spans.enabled:
+            return (0, 0)
+        if trace:
+            tid, parent = trace
+        else:
+            tid, parent = self.spans.new_trace(), 0
+        sid = self.spans.open(tid, name, "mgmt", "mgmt", self.engine.now,
+                              parent_id=parent, **detail)
+        return (tid, sid)
+
     def load(
         self,
         node: int,
@@ -127,6 +154,7 @@ class MgmtPlane:
         endpoint: Optional[str] = None,
         signed_by: Optional[str] = None,
         wire_services: bool = True,
+        trace: Optional[Tuple[int, int]] = None,
     ) -> Event:
         """Load an accelerator into tile ``node`` and wire default caps.
 
@@ -135,6 +163,9 @@ class MgmtPlane:
         service SEND back (for notifications like ``net.rx``).
         """
         tile = self.tiles[node]
+        _tid, span = self._open_span(
+            f"mgmt.load:{endpoint or tile.endpoint}", trace,
+            node=node, accelerator=accelerator.name)
         if endpoint is not None:
             self.register_endpoint(endpoint, node)
         if wire_services:
@@ -144,6 +175,10 @@ class MgmtPlane:
                 self.grant_send(svc_tile.endpoint, tile.endpoint)
         started = tile.start(accelerator, signed_by=signed_by)
         self.stats.counter("mgmt.loads").inc()
+        if span:
+            started.add_callback(
+                lambda ev: self.spans.close(span, self.engine.now,
+                                            failed=ev.failed))
         return started
 
     def load_service(self, node: int, service, endpoint: str) -> Event:
@@ -172,7 +207,17 @@ class MgmtPlane:
         observability the Programmability design goal asks for, available
         precisely because everything crosses a monitor.
         """
-        snaps = [tile.monitor.telemetry() for tile in self.tiles]
+        snaps = []
+        for tile in self.tiles:
+            snap = tile.monitor.telemetry()
+            region = tile.region
+            # slot occupancy accounting: how much of this tile's life went
+            # to reconfiguration (the scheduler's overhead) and whether the
+            # slot currently holds a bitstream
+            snap["region_occupied"] = 1.0 if region.occupied else 0.0
+            snap["region_reconfigs"] = float(region.reconfig_count)
+            snap["region_busy_cycles"] = float(region.busy_cycles_total)
+            snaps.append(snap)
         if self.sampler is not None:
             for node, snap in enumerate(snaps):
                 snap.update(self.sampler.latest(node))
@@ -218,9 +263,12 @@ class MgmtPlane:
             and not tile.region.occupied
         ]
 
-    def teardown(self, node: int, revoke: bool = True) -> Event:
+    def teardown(self, node: int, revoke: bool = True,
+                 trace: Optional[Tuple[int, int]] = None) -> Event:
         """Stop a tile, revoke its authority, and free the slot."""
         tile = self.tiles[node]
+        _tid, span = self._open_span(f"mgmt.teardown:{tile.endpoint}", trace,
+                                     node=node)
         if revoke:
             self.revoke_endpoint_caps(tile.endpoint)
             self.send_grants = {
@@ -230,7 +278,12 @@ class MgmtPlane:
         for name in self.namespace.names_at(node):
             if name != tile.endpoint:
                 self.unregister_endpoint(name)
-        return tile.stop_and_unload()
+        done = tile.stop_and_unload()
+        if span:
+            done.add_callback(
+                lambda ev: self.spans.close(span, self.engine.now,
+                                            failed=ev.failed))
+        return done
 
     def restart(self, node: int, accelerator, endpoint: Optional[str] = None):
         """Process generator: tear down and reload a tile (recovery path)."""
@@ -238,7 +291,8 @@ class MgmtPlane:
         yield self.load(node, accelerator, endpoint=endpoint)
 
     def migrate(self, node_from: int, node_to: int, make_accelerator,
-                endpoint: Optional[str] = None):
+                endpoint: Optional[str] = None,
+                trace: Optional[Tuple[int, int]] = None):
         """Process generator: move a preemptible accelerator to another tile.
 
         Section 4.4's preemption payoff, end to end: the source accelerator
@@ -262,18 +316,38 @@ class MgmtPlane:
                 f"{source.accelerator.name!r} is not preemptible; only "
                 "accelerators that externalize state can migrate (§4.4)"
             )
+        dest = self.tiles[node_to]
+        if dest.occupied or dest.region.occupied or dest.region.reconfiguring:
+            # checked *before* the source is torn down: a migration must
+            # never destroy the only running copy just to discover its
+            # destination was taken
+            raise ConfigError(
+                f"tile {node_to} is not free; migrate needs an empty, "
+                "idle destination slot"
+            )
         if endpoint is None:
             extra = [n for n in self.namespace.names_at(node_from)
                      if n != source.endpoint]
             endpoint = extra[0] if extra else None
-        state = source.accelerator.externalize_state()
-        # include any contexts the fault manager parked on the tile
-        for saved in source.saved_contexts.values():
-            state.update(saved)
-        yield self.teardown(node_from)
-        replacement = make_accelerator()
-        replacement.restore_state(state)
-        yield self.load(node_to, replacement, endpoint=endpoint)
+        tid, span = self._open_span(
+            f"mgmt.migrate:{endpoint or source.endpoint}", trace,
+            src=node_from, dst=node_to)
+        child = (tid, span) if span else trace
+        failed = True
+        try:
+            state = source.accelerator.externalize_state()
+            # include any contexts the fault manager parked on the tile
+            for saved in source.saved_contexts.values():
+                state.update(saved)
+            yield self.teardown(node_from, trace=child)
+            replacement = make_accelerator()
+            replacement.restore_state(state)
+            yield self.load(node_to, replacement, endpoint=endpoint,
+                            trace=child)
+            failed = False
+        finally:
+            if span:
+                self.spans.close(span, self.engine.now, failed=failed)
         self.stats.counter("mgmt.migrations").inc()
         self.tracer.emit(self.engine.now, "mgmt.migrate", "mgmt",
                          src=node_from, dst=node_to, endpoint=endpoint)

@@ -188,12 +188,14 @@ class ApiarySystem:
                 tracer=self.tracer,
             )
             region = ReconfigRegion(self.engine, self.slot_capacity,
-                                    drc=drc, name=f"slot{node}")
+                                    drc=drc, name=f"slot{node}",
+                                    stats=self.stats)
             self.tiles.append(Tile(self.engine, node, monitor, region,
                                    fault_manager=self.fault_manager))
 
         self.mgmt = MgmtPlane(self.engine, self.caps, self.namespace,
-                              self.tiles, stats=self.stats, tracer=self.tracer)
+                              self.tiles, stats=self.stats,
+                              tracer=self.tracer, spans=self.spans)
         for node in range(tiles):
             self.mgmt.register_endpoint(f"tile{node}", node)
 
@@ -230,6 +232,7 @@ class ApiarySystem:
 
         self.recovery: Optional[RecoveryManager] = None
         self.sampler: Optional[TelemetrySampler] = None
+        self.scheduler = None
 
     # -- observability -----------------------------------------------------------
 
@@ -290,6 +293,20 @@ class ApiarySystem:
             stats=self.stats, tracer=self.tracer,
         )
         return self.recovery
+
+    def enable_scheduler(self, **kwargs):
+        """Attach a :class:`~repro.sched.TileScheduler` to this system.
+
+        The scheduler owns tile placement from then on: submit
+        :class:`~repro.sched.JobSpec` work through ``system.scheduler``
+        instead of naming tiles via :meth:`start_app`.
+        """
+        from repro.sched import TileScheduler  # avoid a cyclic import
+
+        if self.scheduler is not None:
+            raise ConfigError("scheduler is already enabled")
+        self.scheduler = TileScheduler(self, **kwargs)
+        return self.scheduler
 
     def boot(self, extra_cycles: int = 5000) -> None:
         """Run until the OS services are loaded and brought up."""

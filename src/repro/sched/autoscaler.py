@@ -1,0 +1,246 @@
+"""Autoscaler: reconfiguration-cost-aware replica scaling for services.
+
+Scaling an FPGA service up is *not* starting a process — it is streaming
+a partial bitstream for hundreds of thousands of cycles (a
+:class:`~repro.cluster.service.ClusterPortedService` replica takes
+``COST.logic_cells * RECONFIG_CYCLES_PER_CELL`` ≈ 480k cycles ≈ 2 ms).
+Naive per-tick increments pay that latency serially and oscillate.  This
+controller is built around that cost:
+
+* **jump scaling** — when the queue signal trips, it sizes the *whole*
+  deficit (``ceil(total_queue / target_queue)`` replicas) and issues the
+  extra loads in one decision, so the reconfigurations overlap instead
+  of queueing behind each other;
+* **in-flight freeze** — while any replica is still reconfiguring
+  (``pending_up > 0``) no further scale-up decisions are taken: the
+  signal cannot yet reflect capacity that was already bought;
+* **hysteresis on the way down** — ``down_after`` consecutive
+  low-signal ticks are required per removal, and removals are graceful:
+  the directory stops routing first, in-flight work drains, the
+  front-end retires the instance, and only then is the tile torn down.
+
+Signals come from the layers the OS already exposes: front-end
+per-instance queue depth (``BackendHealth.outstanding``) and per-tile
+monitor traffic rates via ``MgmtPlane.telemetry()`` (which also carries
+the region occupancy gauges and any attached
+:class:`~repro.obs.telemetry.TelemetrySampler` series).
+
+Every decision lands in :attr:`events` — a deterministic log that is
+byte-identical across identically-seeded runs (pinned by the S2
+benchmark).  Dead replicas (failed tiles) are replaced like-for-like on
+the next tick, which is what keeps the kill-a-tile chaos run serving
+with no manual intervention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Tuple
+
+from repro.cluster.service import ClusterPortedService
+from repro.errors import ConfigError
+from repro.hw.region import RECONFIG_CYCLES_PER_CELL
+
+__all__ = ["Autoscaler"]
+
+
+class Autoscaler:
+    """Scales one stateless service between ``min_replicas`` and ``max``."""
+
+    def __init__(
+        self,
+        cluster,
+        service: str,
+        min_replicas: int = 1,
+        max_replicas: int = 4,
+        interval: int = 20_000,
+        high_queue: float = 8.0,
+        low_queue: float = 1.0,
+        target_queue: float = 3.0,
+        down_after: int = 3,
+        drain_window: int = 5_000,
+        util_low: Optional[float] = None,
+    ):
+        if min_replicas < 1 or max_replicas < min_replicas:
+            raise ConfigError(
+                f"need 1 <= min <= max, got {min_replicas}..{max_replicas}")
+        if low_queue >= high_queue:
+            raise ConfigError("low_queue must sit below high_queue")
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.directory = cluster.directory
+        self.frontend = cluster.frontend
+        self.service = service
+        self.spec = self.directory.spec(service)  # validates the name
+        if self.spec.sharded:
+            raise ConfigError(f"{service!r} is sharded; only stateless "
+                              "services autoscale by replica")
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.interval = interval
+        self.high_queue = high_queue
+        self.low_queue = low_queue
+        self.target_queue = target_queue
+        self.down_after = down_after
+        self.drain_window = drain_window
+        self.util_low = util_low
+        #: cycles one replica's partial reconfiguration costs — the price
+        #: every scale-up decision pays before capacity materializes
+        self.reconfig_cycles = (ClusterPortedService.COST.logic_cells
+                                * RECONFIG_CYCLES_PER_CELL)
+
+        #: deterministic decision log: (cycle, action, iid, replicas, info)
+        self.events: List[Tuple] = []
+        #: (cycle, ready_replicas, total_replicas, queue_per_ready, util)
+        self.series: List[Tuple] = []
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.replacements = 0
+        self._pending_up = 0
+        self._low_ticks = 0
+        self._prev_q: Optional[int] = None
+        self._proc = None
+
+    def start(self) -> None:
+        if self._proc is not None:
+            raise ConfigError("autoscaler already started")
+        self._proc = self.engine.process(
+            self._run(), name=f"autoscale.{self.service}")
+
+    # -- signals -----------------------------------------------------------
+
+    def replicas(self) -> int:
+        return len(self.spec.instances)
+
+    def ready_instances(self) -> List[Any]:
+        """Replicas actually serving (loaded, not failed, not mid-load)."""
+        out = []
+        for inst in self.spec.instances:
+            tile = self.cluster.systems[inst.fpga].tiles[inst.node]
+            if (inst.ready and tile.accelerator is not None
+                    and not tile.failed):
+                out.append(inst)
+        return out
+
+    def signal(self) -> Tuple[int, float, int]:
+        """(total queue depth, max tile tx rate, ready count)."""
+        ready = self.ready_instances()
+        total_q = 0
+        util = 0.0
+        for inst in self.spec.instances:
+            health = self.frontend.health.get(inst.iid)
+            if health is not None:
+                total_q += health.outstanding
+        for inst in ready:
+            tile = self.cluster.systems[inst.fpga].tiles[inst.node]
+            util = max(util, tile.monitor.telemetry()["tx_flits_per_cycle"])
+        return total_q, util, len(ready)
+
+    # -- control loop ------------------------------------------------------
+
+    def _run(self):
+        while True:
+            yield self.interval
+            # 1) replace replicas whose tile died (fault-driven repair);
+            # skip instances still reconfiguring — their tile keeps the
+            # failed flag until the new load completes, and replacing a
+            # replacement would loop forever
+            for inst in list(self.spec.instances):
+                tile = self.cluster.systems[inst.fpga].tiles[inst.node]
+                if inst.ready and tile.failed:
+                    yield from self._replace(inst)
+            total_q, util, ready = self.signal()
+            per_q = total_q / max(1, ready)
+            # queue growth per cycle since the last tick — the arrival
+            # excess the next scale-up must absorb
+            qdot = 0.0
+            if self._prev_q is not None:
+                qdot = max(0.0, (total_q - self._prev_q) / self.interval)
+            self._prev_q = total_q
+            self.series.append((self.engine.now, ready, self.replicas(),
+                                round(per_q, 3), round(util, 4)))
+            # 2) keep the floor (also re-adds after a failed replacement)
+            if (self._pending_up == 0
+                    and self.replicas() < self.min_replicas):
+                for _ in range(self.min_replicas - self.replicas()):
+                    self._scale_up("below min")
+                continue
+            # 3) scale decisions
+            if per_q > self.high_queue:
+                self._low_ticks = 0
+                if self._pending_up == 0 and self.replicas() < self.max_replicas:
+                    # new capacity only materializes after reconfig_cycles,
+                    # so size for the backlog that will exist *then*, not
+                    # for the queue visible now — one jump instead of a
+                    # chain of serial half-megacycle reconfigurations
+                    predicted = total_q + qdot * self.reconfig_cycles
+                    desired = min(
+                        self.max_replicas,
+                        max(self.replicas() + 1,
+                            math.ceil(predicted / self.target_queue)))
+                    why = (f"queue={per_q:.1f} "
+                           f"predicted@ready={predicted:.0f}")
+                    for _ in range(desired - self.replicas()):
+                        self._scale_up(why)
+            elif (per_q < self.low_queue
+                  and (self.util_low is None or util < self.util_low)):
+                self._low_ticks += 1
+                if (self._low_ticks >= self.down_after
+                        and self._pending_up == 0
+                        and self.replicas() > self.min_replicas):
+                    self._low_ticks = 0
+                    yield from self._scale_down()
+            else:
+                self._low_ticks = 0
+
+    # -- actions -----------------------------------------------------------
+
+    def _scale_up(self, why: str) -> None:
+        try:
+            inst, started = self.directory.add_instance(self.service)
+        except ConfigError as err:
+            self._log("up_failed", "-", str(err))
+            return
+        self.frontend.track_all()
+        self._pending_up += 1
+        self.scale_ups += 1
+        self._log("scale_up", inst.iid, why)
+        started.add_callback(lambda ev, i=inst: self._up_done(ev, i))
+
+    def _up_done(self, ev, inst) -> None:
+        self._pending_up -= 1
+        if ev.failed:
+            # the load itself was rejected; detach the phantom replica
+            try:
+                self.directory.remove_instance(self.service, iid=inst.iid)
+            except ConfigError:
+                pass
+            self.frontend.retire(inst.iid)
+            self._log("up_load_failed", inst.iid, str(ev.value))
+        else:
+            self._log("up_ready", inst.iid, "")
+
+    def _scale_down(self):
+        """Graceful removal: unroute, drain, retire, then free the tile."""
+        inst = self.directory.remove_instance(self.service)
+        self.scale_downs += 1
+        self._log("scale_down", inst.iid, "")
+        yield self.drain_window
+        self.frontend.retire(inst.iid)
+        system = self.cluster.systems[inst.fpga]
+        yield system.mgmt.teardown(inst.node)
+        self._log("down_done", inst.iid, "")
+
+    def _replace(self, inst):
+        """Swap a dead replica for a fresh one (no operator in the loop)."""
+        self.directory.remove_instance(self.service, iid=inst.iid)
+        self.frontend.retire(inst.iid)
+        self.replacements += 1
+        self._log("replace", inst.iid, f"tile {inst.node} failed")
+        system = self.cluster.systems[inst.fpga]
+        yield system.mgmt.teardown(inst.node)
+        self._scale_up(f"replacing {inst.iid}")
+
+    def _log(self, action: str, iid: str, info: str) -> None:
+        self.events.append(
+            (self.engine.now, action, iid, self.replicas(), info))

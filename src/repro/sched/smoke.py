@@ -1,0 +1,290 @@
+"""Reusable autoscaling experiments: the S2 load-step and chaos runs.
+
+One parameterized harness shared by the unit tests, the S2 benchmark,
+and the CI ``sched-smoke`` job — the same pattern as
+:mod:`repro.cluster.smoke`: every quantity derives from the simulated
+clock and seeded streams, so two calls with identical arguments return
+identical results (the benchmark byte-compares the full event log).
+
+The main run (:func:`autoscale_smoke`) drives a stateless KV service
+through a three-phase open-loop load: steady base traffic, a
+``step_factor``× step, then base again.  The interesting physics is the
+reconfiguration cost: a new replica takes ~480k cycles of partial
+reconfiguration before it serves, so the autoscaler must size the whole
+deficit in one decision (jump scaling) for tail latency to converge
+inside the step window.
+
+The chaos run (:func:`autoscale_chaos_smoke`) fail-stops one replica's
+tile mid-run and checks the control loop replaces it and keeps serving
+with no operator in the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.smoke import _build
+from repro.errors import TileFault
+from repro.policy import RetryPolicy
+from repro.workloads.client import ClusterClient
+
+__all__ = ["autoscale_smoke", "autoscale_chaos_smoke"]
+
+
+def _shared_kv_factory(work_cycles: int):
+    """A stateless KV front: compute on-tile, state in shared memory.
+
+    All replicas read/write one backing store (modelling state that
+    lives in DRAM behind the memory service, not in the accelerator),
+    which is what makes the service safely scalable: a request answered
+    by a brand-new replica sees earlier writes.
+    """
+    store: Dict[Any, Any] = {}
+
+    def make():
+        def handler(body):
+            op = body.get("op")
+            if op == "put":
+                store[body["key"]] = body["value"]
+                return work_cycles, {"ok": True}, 32
+            return work_cycles, {"ok": body.get("key") in store,
+                                 "value": store.get(body.get("key"))}, 64
+        return handler
+
+    return make
+
+
+def _pctl(values: List[int], p: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+    return float(ordered[idx])
+
+
+def _open_loop_kv(host: ClusterClient, idx: int, phases, results: List,
+                  timeout: int):
+    """Open-loop load generator: issues on schedule, never waits."""
+    engine = host.engine
+    t0 = engine.now
+    # stagger clients so arrivals interleave instead of bunching
+    first_gap = phases[0][1]
+    offset = (idx * first_gap) // 4
+    if offset:
+        yield offset
+    n = 0
+    while True:
+        elapsed = engine.now - t0
+        gap = None
+        for end, phase_gap, tag in phases:
+            if elapsed < end:
+                gap, phase = phase_gap, tag
+                break
+        if gap is None:
+            return
+        key = f"k{(idx * 31 + n * 7) % 64}"
+        body = ({"op": "put", "key": key, "value": n} if n % 4 == 0
+                else {"op": "get", "key": key})
+        issue = engine.now
+        ev = host.call_service("kv", body, timeout=timeout)
+
+        def record(done, t=issue, ph=phase):
+            results.append(
+                (t, None if done.failed else engine.now - t, ph))
+
+        ev.add_callback(record)
+        n += 1
+        # small deterministic per-client skew keeps clients from locking
+        # onto a common arrival grid (which would double requests up on
+        # one instance every period and inflate the measured tail)
+        yield gap + idx * 251
+
+
+def autoscale_smoke(
+    seed: int = 0,
+    n_fpgas: int = 2,
+    clients: int = 4,
+    work_cycles: int = 3_000,
+    base_gap: int = 24_000,
+    step_factor: int = 4,
+    phase_a: int = 600_000,
+    phase_b: int = 1_400_000,
+    phase_c: int = 1_200_000,
+    min_replicas: int = 1,
+    max_replicas: int = 4,
+    interval: int = 20_000,
+    high_queue: float = 8.0,
+    low_queue: float = 1.0,
+    target_queue: float = 3.0,
+    request_timeout: int = 1_500_000,
+    max_pending: int = 1_024,
+    settle_margin: int = 300_000,
+    drain: int = 500_000,
+) -> Dict[str, Any]:
+    """Load-step experiment: does the autoscaler converge, then retreat?
+
+    Returns pre-step and post-convergence latency percentiles, the
+    replica time-series, and the autoscaler's full decision log (for the
+    determinism byte-compare).
+    """
+    # scale-down tears live tiles down mid-traffic; a straggler reply
+    # interrupted inside the dying tile is an orphan by design (same
+    # engine contract the fault-injection runs use)
+    cluster = _build(n_fpgas, seed, swallow_orphan_errors=True)
+    started = cluster.deploy_stateless(
+        "kv", _shared_kv_factory(work_cycles), instances=min_replicas)
+    cluster.engine.run_until_done(cluster.engine.all_of(started),
+                                  limit=50_000_000)
+    # overload queues work instead of failing it: the per-attempt budget
+    # must outlive worst-case queueing during the pre-scale-up window
+    patient = RetryPolicy(deadline=request_timeout,
+                          attempt_timeout=request_timeout,
+                          backoff_base=200, backoff_cap=2_000)
+    frontend = cluster.start_frontend(max_pending=max_pending, retry=patient)
+    scaler = cluster.start_autoscaler(
+        "kv", min_replicas=min_replicas, max_replicas=max_replicas,
+        interval=interval, high_queue=high_queue, low_queue=low_queue,
+        target_queue=target_queue, drain_window=10_000)
+    cluster.run(until=cluster.engine.now + 5_000)
+
+    total = phase_a + phase_b + phase_c
+    phases = [(phase_a, base_gap, "a"),
+              (phase_a + phase_b, base_gap // step_factor, "b"),
+              (total, base_gap, "c")]
+    results: List[Tuple] = []
+    start = cluster.engine.now
+    for c in range(clients):
+        host = ClusterClient(cluster.engine, cluster.fabric, f"host{c}")
+        cluster.engine.process(
+            _open_loop_kv(host, c, phases, results, request_timeout),
+            name=f"{host.mac}.loadgen")
+    cluster.run(until=start + total + drain)
+
+    def lats(phase, after=0, before=None):
+        return [lat for t, lat, ph in results
+                if ph == phase and lat is not None and t - start >= after
+                and (before is None or t - start < before)]
+
+    pre = lats("a", after=phase_a // 3)
+    # "converged" latency is judged on requests *issued* after the last
+    # scale-up replica came online plus a settling margin (the backlog
+    # built during reconfiguration needs time to drain)
+    up_ready = [t for t, action, *_rest in scaler.events
+                if action == "up_ready"]
+    ready_at = (max(up_ready) - start) if up_ready else None
+    post = (lats("b", after=ready_at + settle_margin)
+            if ready_at is not None else [])
+    peak = max((r[2] for r in scaler.series), default=min_replicas)
+    completed = sum(1 for _t, lat, _ph in results if lat is not None)
+    failed = sum(1 for _t, lat, _ph in results if lat is None)
+    return {
+        "seed": seed,
+        "clients": clients,
+        "work_cycles": work_cycles,
+        "phases": [phase_a, phase_b, phase_c],
+        "completed": completed,
+        "failed": failed,
+        "pre_p50": _pctl(pre, 50), "pre_p99": _pctl(pre, 99),
+        "post_p50": _pctl(post, 50), "post_p99": _pctl(post, 99),
+        "post_samples": len(post),
+        "scale_up_ready_at": ready_at,
+        "peak_replicas": peak,
+        "final_replicas": scaler.replicas(),
+        "scale_ups": scaler.scale_ups,
+        "scale_downs": scaler.scale_downs,
+        "reconfig_cycles_per_replica": scaler.reconfig_cycles,
+        "event_log": [list(e) for e in scaler.events],
+        "replica_series": [list(s) for s in scaler.series],
+        "frontend": {
+            "admitted": frontend.requests_admitted,
+            "rejected": frontend.requests_rejected,
+            "failed": frontend.requests_failed,
+            "failovers": frontend.failovers,
+        },
+    }
+
+
+def autoscale_chaos_smoke(
+    seed: int = 0,
+    n_fpgas: int = 2,
+    clients: int = 4,
+    work_cycles: int = 3_000,
+    gap: int = 12_000,
+    duration: int = 1_500_000,
+    kill_after: int = 400_000,
+    min_replicas: int = 2,
+    max_replicas: int = 4,
+    interval: int = 20_000,
+    request_timeout: int = 600_000,
+    settle_margin: int = 150_000,
+    drain: int = 200_000,
+) -> Dict[str, Any]:
+    """Kill one replica's tile mid-run; the autoscaler must recover alone.
+
+    Success means: a ``replace`` decision in the event log, a fresh
+    replica serving afterwards, and requests issued after the
+    replacement settles completing at (near-)unity success rate.
+    """
+    cluster = _build(n_fpgas, seed, swallow_orphan_errors=True)
+    started = cluster.deploy_stateless(
+        "kv", _shared_kv_factory(work_cycles), instances=min_replicas)
+    cluster.engine.run_until_done(cluster.engine.all_of(started),
+                                  limit=50_000_000)
+    patient = RetryPolicy(deadline=request_timeout,
+                          attempt_timeout=request_timeout // 3,
+                          backoff_base=200, backoff_cap=2_000)
+    frontend = cluster.start_frontend(max_pending=1_024, retry=patient)
+    scaler = cluster.start_autoscaler(
+        "kv", min_replicas=min_replicas, max_replicas=max_replicas,
+        interval=interval, drain_window=10_000)
+    cluster.run(until=cluster.engine.now + 5_000)
+
+    results: List[Tuple] = []
+    start = cluster.engine.now
+    phases = [(duration, gap, "steady")]
+    for c in range(clients):
+        host = ClusterClient(cluster.engine, cluster.fabric, f"host{c}")
+        cluster.engine.process(
+            _open_loop_kv(host, c, phases, results, request_timeout),
+            name=f"{host.mac}.loadgen")
+
+    killed: Dict[str, Any] = {}
+
+    def kill(_arg=None):
+        victim = cluster.directory.spec("kv").instances[0]
+        killed["iid"] = victim.iid
+        killed["at"] = cluster.engine.now
+        system = cluster.systems[victim.fpga]
+        tile = system.tiles[victim.node]
+        err = TileFault(f"chaos: {tile.endpoint} killed")
+        err.occurred_at = cluster.engine.now
+        # through the fault manager, so the front-end's on_fault hook
+        # fails pending work immediately (same path organic faults take)
+        system.fault_manager.report(tile, "main", err)
+
+    cluster.engine.schedule(kill_after, kill)
+    cluster.run(until=start + duration + drain)
+
+    replaced = [(t, iid) for t, action, iid, *_rest in scaler.events
+                if action == "replace"]
+    ready_after_kill = [t for t, action, *_rest in scaler.events
+                        if action == "up_ready" and t > killed.get("at", 0)]
+    recovered_at = min(ready_after_kill) if ready_after_kill else None
+    window = [(t, lat) for t, lat, _ph in results
+              if recovered_at is not None
+              and t >= recovered_at + settle_margin]
+    window_ok = sum(1 for _t, lat in window if lat is not None)
+    return {
+        "seed": seed,
+        "killed": killed,
+        "replaced": replaced,
+        "recovered_at": recovered_at,
+        "replacements": scaler.replacements,
+        "final_ready": len(scaler.ready_instances()),
+        "completed": sum(1 for r in results if r[1] is not None),
+        "failed": sum(1 for r in results if r[1] is None),
+        "post_recovery_issued": len(window),
+        "post_recovery_ok": window_ok,
+        "event_log": [list(e) for e in scaler.events],
+        "frontend_failovers": frontend.failovers,
+    }

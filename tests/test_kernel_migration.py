@@ -104,6 +104,36 @@ def test_migrating_empty_tile_rejected():
         next(system.mgmt.migrate(4, 5, lambda: EchoAccel("x")))
 
 
+def test_migrating_to_occupied_destination_rejected():
+    """Migration needs an empty destination slot; it never evicts."""
+    system = booted()
+    encoder = PreemptibleVideoEncoder("enc")
+    system.run_until(system.start_app(2, encoder, endpoint="app.enc"))
+    squatter = EchoAccel("squatter")
+    system.run_until(system.start_app(4, squatter, endpoint="app.sq"))
+    with pytest.raises(ConfigError):
+        next(system.mgmt.migrate(
+            2, 4, lambda: PreemptibleVideoEncoder("enc-v2")))
+    # the guard fires before any teardown: both tenants still run
+    assert system.tiles[2].accelerator is encoder
+    assert system.tiles[4].accelerator is squatter
+
+
+def test_free_tiles_track_teardown_and_restart():
+    system = booted()
+    assert system.mgmt.free_tiles() == [1, 2, 3, 4, 5]  # 0 = mem service
+    system.run_until(system.start_app(2, EchoAccel("a"), endpoint="app.a"))
+    assert system.mgmt.free_tiles() == [1, 3, 4, 5]
+    restarted = system.engine.process(
+        system.mgmt.restart(2, EchoAccel("a2"), endpoint="app.a"))
+    system.run_until(restarted.done)
+    # a restart reloads in place: the slot ends occupied, nothing leaks
+    assert system.mgmt.free_tiles() == [1, 3, 4, 5]
+    assert system.tiles[2].accelerator.name == "a2"
+    system.run_until(system.mgmt.teardown(2))
+    assert system.mgmt.free_tiles() == [1, 2, 3, 4, 5]
+
+
 def test_migrated_tile_is_reusable():
     system = booted()
     encoder = PreemptibleVideoEncoder("enc")

@@ -1,0 +1,534 @@
+"""Scheduler & autoscaling tests (repro.sched).
+
+Covers the control-plane stack end to end: typed admission rejections,
+placement policies (first-fit / best-fit / locality / DRC feasibility),
+the event-driven dispatch loop, priority preemption (checkpoint-migrate
+and kill-and-requeue), fault-driven rescheduling, determinism of the
+decision log, and the reconfiguration-cost-aware autoscaler.
+"""
+
+import json
+
+import pytest
+
+from repro.accel import Accelerator, EchoAccel
+from repro.errors import (
+    AdmissionRejected,
+    ConfigError,
+    PlacementFailed,
+    QuotaExceeded,
+    SchedulerError,
+    TileFault,
+)
+from repro.hw.bitstream import Bitstream
+from repro.hw.resources import ResourceVector
+from repro.kernel import ApiarySystem, FaultPolicy
+from repro.sched import (
+    AdmissionController,
+    JobSpec,
+    JobState,
+    Placer,
+    PlacementPolicy,
+    TenantQuota,
+)
+
+
+def booted(policy=FaultPolicy.PREEMPT, **kwargs):
+    system = ApiarySystem(width=3, height=2, policy=policy, **kwargs)
+    system.boot()
+    return system
+
+
+class CounterAccel(Accelerator):
+    """Tiny preemptible accelerator with one word of checkpointable state."""
+
+    COST = ResourceVector(logic_cells=6_000, bram_kb=16, dsp_slices=0)
+    PRIMITIVES = {"lut_logic": 5_000}
+    preemptible = True
+
+    def __init__(self, name="counter", start=0):
+        super().__init__(name)
+        self.count = start
+
+    def main(self, shell):
+        while True:
+            yield 1_000
+            self.count += 1
+
+    def externalize_state(self):
+        return {"count": self.count}
+
+    def restore_state(self, state):
+        self.count = state.get("count", self.count)
+
+
+class BigAccel(Accelerator):
+    """Large enough that a deliberately shrunken slot cannot host it."""
+
+    COST = ResourceVector(logic_cells=40_000, bram_kb=128, dsp_slices=8)
+    PRIMITIVES = {"lut_logic": 30_000}
+
+    def main(self, shell):
+        while True:
+            yield 10_000
+
+
+def spec(name, tenant="t", factory=None, **kwargs):
+    return JobSpec(name=name, tenant=tenant,
+                   factory=factory or (lambda: EchoAccel(name)), **kwargs)
+
+
+# -- admission ------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_empty_name_and_tenant_rejected(self):
+        ctrl = AdmissionController()
+        with pytest.raises(AdmissionRejected):
+            ctrl.admit(spec(""), running=0, queued=0)
+        with pytest.raises(AdmissionRejected):
+            ctrl.admit(spec("j", tenant=""), running=0, queued=0)
+
+    def test_priority_above_tenant_cap_rejected(self):
+        ctrl = AdmissionController({"t": TenantQuota(max_priority=2)})
+        ctrl.admit(spec("ok", priority=2), running=0, queued=0)
+        with pytest.raises(AdmissionRejected):
+            ctrl.admit(spec("greedy", priority=3), running=0, queued=0)
+
+    def test_running_and_queued_quotas(self):
+        ctrl = AdmissionController(
+            {"t": TenantQuota(max_running=2, max_queued=1)})
+        ctrl.admit(spec("a"), running=1, queued=0)
+        with pytest.raises(QuotaExceeded):
+            ctrl.admit(spec("b"), running=2, queued=0)
+        with pytest.raises(QuotaExceeded):
+            ctrl.admit(spec("c"), running=0, queued=1)
+
+    def test_rejections_are_typed(self):
+        # callers can distinguish quota pressure from malformed submits,
+        # and catch the whole family as SchedulerError
+        assert issubclass(QuotaExceeded, AdmissionRejected)
+        assert issubclass(AdmissionRejected, SchedulerError)
+
+    def test_unknown_tenant_gets_default_quota(self):
+        ctrl = AdmissionController(default=TenantQuota(max_running=1))
+        with pytest.raises(QuotaExceeded):
+            ctrl.admit(spec("x", tenant="anyone"), running=1, queued=0)
+
+
+# -- placement ------------------------------------------------------------
+
+
+class TestPlacer:
+    def placer(self, system, policy=PlacementPolicy.FIRST_FIT, **kwargs):
+        return Placer(system.tiles, system.topo, drc=system.drc,
+                      policy=policy, **kwargs)
+
+    def test_first_fit_picks_lowest_free_tile(self):
+        system = booted()
+        bs = EchoAccel("e").bitstream()
+        assert self.placer(system).place(bs) == 1  # 0 is the mem service
+
+    def test_occupied_and_reserved_tiles_are_infeasible(self):
+        system = booted()
+        system.run_until(system.start_app(1, EchoAccel("e1")))
+        bs = EchoAccel("e").bitstream()
+        assert self.placer(system).place(bs) == 2
+        placer = self.placer(system, reserved=(2, 3))
+        assert placer.place(bs) == 4
+        assert placer.reject_reason(2, bs) == "reserved"
+
+    def test_best_fit_prefers_tightest_slot(self):
+        system = booted()
+        # shrink one slot so it barely fits an echo: best-fit should keep
+        # the full-size slots open for bigger tenants
+        small = EchoAccel("e").bitstream().cost
+        system.tiles[4].region.capacity = ResourceVector(
+            logic_cells=small.logic_cells + 1_000,
+            bram_kb=small.bram_kb + 8, dsp_slices=1)
+        bs = EchoAccel("e").bitstream()
+        assert self.placer(system).place(bs) == 1
+        assert self.placer(system, policy=PlacementPolicy.BEST_FIT).place(bs) == 4
+
+    def test_locality_minimizes_hops_to_anchor(self):
+        system = booted()
+        system.run_until(system.start_app(2, EchoAccel("e2")))
+        system.run_until(system.start_app(4, EchoAccel("e4")))
+        bs = EchoAccel("e").bitstream()
+        # free tiles: 1, 3 and 5.  First-fit takes 1; locality next to
+        # the anchor at node 5 takes 5 (0 hops beats 2).
+        assert self.placer(system).place(bs) == 1
+        locality = self.placer(system, policy=PlacementPolicy.LOCALITY)
+        assert locality.place(bs, near=5) == 5
+        # without an anchor, locality degrades to first-fit
+        assert locality.place(bs) == 1
+
+    def test_capacity_overflow_reports_reasons(self):
+        system = booted()
+        huge = Bitstream.build("huge", ResourceVector(
+            logic_cells=10**9, bram_kb=1, dsp_slices=0))
+        with pytest.raises(PlacementFailed) as exc:
+            self.placer(system).place(huge)
+        reasons = exc.value.reasons
+        assert set(reasons) == {0, 1, 2, 3, 4, 5}
+        assert "needs" in reasons[2]
+
+    def test_drc_violation_reports_reasons(self):
+        from repro.hw.bitstream import DesignRuleChecker
+        system = booted(drc=DesignRuleChecker(power_budget_toggle=0.6))
+        virus = Bitstream.build("virus", EchoAccel("e").COST,
+                                max_toggle_rate=0.95)
+        with pytest.raises(PlacementFailed) as exc:
+            self.placer(system).place(virus)
+        assert any(r.startswith("DRC: power-budget")
+                   for r in exc.value.reasons.values())
+
+    def test_unknown_policy_rejected(self):
+        system = booted()
+        with pytest.raises(ConfigError):
+            self.placer(system, policy="greedy")
+
+
+# -- scheduler dispatch ---------------------------------------------------
+
+
+class TestScheduler:
+    def test_submit_place_start_finish(self):
+        system = booted()
+        sched = system.enable_scheduler()
+        job = sched.submit(spec("echo"))
+        system.run(until=system.engine.now + 200_000)
+        assert job.state is JobState.RUNNING
+        assert job.node == 1
+        assert sched.queue_depth() == 0
+        kinds = [e.kind for e in sched.events]
+        assert kinds[:3] == ["submit", "place", "start"]
+        done = sched.finish(job)
+        system.run_until(done)
+        assert job.state is JobState.COMPLETED
+        assert not system.tiles[1].occupied
+
+    def test_scheduler_is_exclusive_per_system(self):
+        system = booted()
+        system.enable_scheduler()
+        with pytest.raises(ConfigError):
+            system.enable_scheduler()
+
+    def test_tenant_quota_holds_job_in_queue(self):
+        system = booted()
+        sched = system.enable_scheduler(
+            quotas={"t": TenantQuota(max_running=1)})
+        first = sched.submit(spec("one"))
+        second = sched.submit(spec("two"))
+        system.run(until=system.engine.now + 300_000)
+        assert first.state is JobState.RUNNING
+        assert second.state is JobState.QUEUED  # quota, not capacity
+        system.run_until(sched.finish(first))
+        system.run(until=system.engine.now + 200_000)
+        assert second.state is JobState.RUNNING
+
+    def test_rejected_submit_raises_and_logs(self):
+        system = booted()
+        sched = system.enable_scheduler(
+            quotas={"t": TenantQuota(max_queued=1)})
+        sched.submit(spec("one"))  # placed eventually; queued right now
+        with pytest.raises(QuotaExceeded):
+            sched.submit(spec("two"))
+        assert system.stats.counter("sched.rejected").value == 1
+        assert sched.events[-1].kind == "reject"
+
+    def test_queue_drains_as_capacity_frees(self):
+        system = booted()
+        sched = system.enable_scheduler()
+        jobs = [sched.submit(spec(f"j{i}")) for i in range(6)]
+        system.run(until=system.engine.now + 400_000)
+        running = [j for j in jobs if j.state is JobState.RUNNING]
+        queued = [j for j in jobs if j.state is JobState.QUEUED]
+        assert len(running) == 5 and len(queued) == 1  # 5 free tiles
+        system.run_until(sched.finish(running[0]))
+        system.run(until=system.engine.now + 200_000)
+        assert queued[0].state is JobState.RUNNING
+
+
+# -- preemption -----------------------------------------------------------
+
+
+class TestPreemption:
+    def fill(self, sched, n, prio=0):
+        return [sched.submit(spec(f"low{i}", priority=prio))
+                for i in range(n)]
+
+    def test_high_priority_kills_youngest_victim(self):
+        system = booted()
+        sched = system.enable_scheduler()
+        low = self.fill(sched, 5)
+        system.run(until=system.engine.now + 300_000)
+        assert all(j.state is JobState.RUNNING for j in low)
+        high = sched.submit(spec("high", priority=5))
+        system.run(until=system.engine.now + 300_000)
+        assert high.state is JobState.RUNNING
+        victim = low[-1]  # youngest within the lowest priority
+        assert victim.state is JobState.QUEUED
+        assert victim.preemptions == 1
+        preempts = [e for e in sched.events if e.kind == "preempt"]
+        assert len(preempts) == 1
+        assert "mode=kill" in preempts[0].info
+        assert preempts[0].job == "low4"
+
+    def test_equal_priority_never_preempts(self):
+        system = booted()
+        sched = system.enable_scheduler()
+        low = self.fill(sched, 5, prio=1)
+        system.run(until=system.engine.now + 300_000)
+        peer = sched.submit(spec("peer", priority=1))
+        system.run(until=system.engine.now + 300_000)
+        assert peer.state is JobState.QUEUED
+        assert all(j.state is JobState.RUNNING for j in low)
+
+    def test_preemptible_victim_is_checkpointed(self):
+        system = booted()
+        sched = system.enable_scheduler()
+        self.fill(sched, 4)
+        stateful = sched.submit(
+            spec("stateful", factory=lambda: CounterAccel("ctr")))
+        system.run(until=system.engine.now + 500_000)
+        assert stateful.state is JobState.RUNNING
+        high = sched.submit(spec("high", priority=5))
+        system.run(until=system.engine.now + 300_000)
+        assert high.state is JobState.RUNNING
+        assert stateful.state is JobState.QUEUED
+        assert stateful.saved_state.get("count", 0) > 0
+        preempted = [e for e in sched.events if e.kind == "preempt"][0]
+        assert "mode=checkpoint" in preempted.info
+        # when capacity frees, the checkpoint rides into the fresh load
+        system.run_until(sched.finish(high))
+        system.run(until=system.engine.now + 300_000)
+        assert stateful.state is JobState.RUNNING
+        restored = system.tiles[stateful.node].accelerator
+        assert restored.count >= stateful.saved_state["count"]
+
+    def test_preemptible_victim_migrates_to_smaller_slot(self):
+        system = booted()
+        # one slot only a CounterAccel-sized design fits
+        small = CounterAccel.COST
+        system.tiles[5].region.capacity = ResourceVector(
+            logic_cells=small.logic_cells + 2_000,
+            bram_kb=small.bram_kb + 16, dsp_slices=1)
+        sched = system.enable_scheduler()
+        self.fill(sched, 3)
+        stateful = sched.submit(
+            spec("stateful", factory=lambda: CounterAccel("ctr")))
+        system.run(until=system.engine.now + 500_000)
+        assert stateful.node == 4  # tiles 1,2,3 hold the low jobs
+        big = sched.submit(
+            spec("big", priority=5, factory=lambda: BigAccel("big")))
+        system.run(until=system.engine.now + 2_000_000)
+        # the stateful victim retreated to the shrunken slot it alone
+        # fits, and the big job took the vacated full-size slot
+        assert stateful.state is JobState.RUNNING
+        assert stateful.node == 5
+        assert big.state is JobState.RUNNING
+        assert big.node == 4
+        kinds = [e.kind for e in sched.events]
+        assert "migrate" in kinds and "migrated" in kinds
+        assert system.tiles[5].accelerator.count > 0
+
+
+# -- fault rescheduling ---------------------------------------------------
+
+
+def inject_fault(system, node, context="main"):
+    tile = system.tiles[node]
+    err = TileFault(f"injected on tile{node}")
+    err.occurred_at = system.engine.now
+    system.fault_manager.report(tile, context, err)
+
+
+class TestFaultRescheduling:
+    def test_fault_requeues_and_replaces(self):
+        system = booted(policy=FaultPolicy.FAIL_STOP)
+        sched = system.enable_scheduler()
+        job = sched.submit(spec("worker"))
+        system.run(until=system.engine.now + 200_000)
+        assert job.state is JobState.RUNNING and job.node == 1
+        fault_at = system.engine.now
+        inject_fault(system, 1)
+        system.run(until=fault_at + 300_000)
+        # bounded recovery: one teardown + one reconfiguration
+        assert job.state is JobState.RUNNING
+        assert job.node != 1 or not system.tiles[1].failed
+        assert job.faults == 1
+        assert job.placements == 2
+        kinds = [e.kind for e in sched.events]
+        assert "fault_requeue" in kinds
+        assert system.stats.counter("sched.fault_requeues").value == 1
+
+    def test_job_abandoned_after_max_faults(self):
+        system = booted(policy=FaultPolicy.FAIL_STOP)
+        sched = system.enable_scheduler(max_faults=0)
+        job = sched.submit(spec("fragile"))
+        system.run(until=system.engine.now + 200_000)
+        inject_fault(system, job.node)
+        system.run(until=system.engine.now + 300_000)
+        assert job.state is JobState.FAILED
+        assert "abandon" in [e.kind for e in sched.events]
+
+
+# -- determinism ----------------------------------------------------------
+
+
+def _scripted_run():
+    system = booted(policy=FaultPolicy.FAIL_STOP)
+    sched = system.enable_scheduler()
+    for i in range(5):
+        sched.submit(spec(f"j{i}", priority=i % 2))
+    system.run(until=system.engine.now + 250_000)
+    inject_fault(system, 3)
+    system.run(until=system.engine.now + 400_000)
+    sched.submit(spec("late", priority=3))
+    system.run(until=system.engine.now + 400_000)
+    return sched.event_log()
+
+
+class TestDeterminism:
+    def test_event_log_is_byte_identical_across_runs(self):
+        first = json.dumps(_scripted_run())
+        second = json.dumps(_scripted_run())
+        assert first == second
+
+
+# -- scheduler observability ----------------------------------------------
+
+
+class TestSchedulerObservability:
+    def test_place_span_parents_the_mgmt_load(self):
+        system = booted()
+        system.enable_tracing()
+        sched = system.enable_scheduler()
+        job = sched.submit(spec("traced"))
+        system.run(until=system.engine.now + 200_000)
+        assert job.state is JobState.RUNNING
+        index = system.span_index()
+        roots = {t: index.root(t).name for t in index.trace_ids()}
+        place = [t for t, name in roots.items()
+                 if name == "sched.place:traced"]
+        assert len(place) == 1
+        tree = index.tree(place[0])
+        children = [c.record.name for c in tree.children]
+        assert any(name.startswith("mgmt.load:") for name in children)
+
+    def test_queue_gauges_and_wait_histogram(self):
+        system = booted()
+        sched = system.enable_scheduler()
+        jobs = [sched.submit(spec(f"j{i}")) for i in range(6)]
+        system.run(until=system.engine.now + 400_000)
+        assert system.stats.gauge("sched.queue_depth").value == 1
+        hist = system.stats.histogram("sched.queue_wait")
+        assert hist.count == 5  # one sample per started job
+        system.run_until(sched.finish(jobs[0]))
+        system.run(until=system.engine.now + 200_000)
+        assert system.stats.gauge("sched.queue_depth").value == 0
+
+
+# -- region gauges (satellite: reconfiguration observability) -------------
+
+
+class TestRegionGauges:
+    def test_load_teardown_populate_busy_and_reconfig_stats(self):
+        system = booted()
+        system.run_until(system.start_app(2, EchoAccel("e")))
+        system.run_until(system.mgmt.teardown(2))
+        region = system.tiles[2].region
+        assert region.reconfig_count == 2  # load + unload
+        assert region.busy_cycles_total > 0
+        assert system.stats.counter("region.slot2.reconfigs").value == 2
+        assert system.stats.gauge("region.slot2.busy_cycles").value == \
+            float(region.busy_cycles_total)
+
+    def test_region_stats_visible_in_telemetry(self):
+        system = booted()
+        system.run_until(system.start_app(2, EchoAccel("e")))
+        snap = system.mgmt.telemetry()[2]
+        assert snap["region_occupied"] == 1.0
+        assert snap["region_reconfigs"] == 1.0
+        assert snap["region_busy_cycles"] > 0.0
+
+
+# -- autoscaler -----------------------------------------------------------
+
+
+def small_cluster():
+    from repro.cluster.smoke import _build
+    cluster = _build(2, 0, swallow_orphan_errors=True)
+    started = cluster.deploy_stateless(
+        "kv", lambda: (lambda body: (1_000, {"ok": True}, 32)), instances=1)
+    cluster.engine.run_until_done(cluster.engine.all_of(started),
+                                  limit=50_000_000)
+    cluster.start_frontend()
+    return cluster
+
+
+class TestAutoscalerConfig:
+    def test_bad_replica_bounds_rejected(self):
+        cluster = small_cluster()
+        with pytest.raises(ConfigError):
+            cluster.start_autoscaler("kv", min_replicas=0)
+        with pytest.raises(ConfigError):
+            cluster.start_autoscaler("kv", min_replicas=3, max_replicas=2)
+
+    def test_inverted_thresholds_rejected(self):
+        cluster = small_cluster()
+        with pytest.raises(ConfigError):
+            cluster.start_autoscaler("kv", high_queue=1.0, low_queue=2.0)
+
+    def test_sharded_service_refused(self):
+        cluster = small_cluster()
+        started = cluster.deploy_sharded(
+            "counters", lambda shard: (lambda body: (500, {"n": 0}, 16)),
+            n_shards=2, replication=1)
+        cluster.engine.run_until_done(cluster.engine.all_of(started),
+                                      limit=50_000_000)
+        with pytest.raises(ConfigError):
+            cluster.start_autoscaler("counters")
+
+    def test_unknown_service_refused(self):
+        cluster = small_cluster()
+        with pytest.raises(Exception):
+            cluster.start_autoscaler("nope")
+
+
+class TestAutoscalerRuns:
+    """Reduced versions of the S2 experiments (full runs live in
+    benchmarks/test_bench_autoscale.py)."""
+
+    def test_load_step_scales_up_then_back_down(self):
+        import repro.sched.smoke as sm
+        out = sm.autoscale_smoke(phase_a=200_000, phase_b=700_000,
+                                 phase_c=400_000, settle_margin=150_000,
+                                 drain=400_000)
+        assert out["failed"] == 0
+        assert out["peak_replicas"] > 1          # reacted to the step
+        assert out["final_replicas"] == 1        # retreated after it
+        assert out["post_samples"] > 0
+        # converged: post-scale-up tail within 2x of the pre-step tail
+        assert out["post_p99"] <= 2 * out["pre_p99"]
+        actions = [e[1] for e in out["event_log"]]
+        assert "scale_up" in actions and "down_done" in actions
+
+    def test_reduced_run_is_deterministic(self):
+        import repro.sched.smoke as sm
+        kwargs = dict(phase_a=150_000, phase_b=400_000, phase_c=200_000,
+                      settle_margin=100_000, drain=200_000)
+        first = json.dumps(sm.autoscale_smoke(**kwargs), sort_keys=True)
+        second = json.dumps(sm.autoscale_smoke(**kwargs), sort_keys=True)
+        assert first == second
+
+    def test_chaos_kill_is_repaired_without_an_operator(self):
+        import repro.sched.smoke as sm
+        out = sm.autoscale_chaos_smoke()
+        assert out["replacements"] == 1
+        assert out["recovered_at"] is not None
+        assert out["final_ready"] == 2
+        # requests issued after the replacement settled all complete
+        assert out["post_recovery_issued"] > 0
+        assert out["post_recovery_ok"] == out["post_recovery_issued"]
