@@ -31,24 +31,36 @@ class KvStore(Accelerator):
 
     With ``value_segments=True``, values above ``inline_bytes`` live in a
     DRAM segment allocated from ``svc.mem``; every access pays DRAM time.
+
+    Writes are **at-most-once** when the client cooperates: a put/delete
+    body carrying ``client``/``seq`` (the RPC layer's logical-request
+    identity) is remembered in a bounded per-client dedup window, and a
+    retransmission of the same logical write — the classic
+    retried-after-timeout duplicate — replays the original reply instead
+    of applying the write a second time.
     """
 
     COST = ResourceVector(logic_cells=80_000, bram_kb=2048, dsp_slices=0)
     PRIMITIVES = {"lut_logic": 64_000, "bram": 512, "fifo": 8}
 
     def __init__(self, name: str, value_segments: bool = False,
-                 inline_bytes: int = 256, segment_bytes: int = 1 << 20):
+                 inline_bytes: int = 256, segment_bytes: int = 1 << 20,
+                 dedup_window: int = 64):
         super().__init__(name)
         self.value_segments = value_segments
         self.inline_bytes = inline_bytes
         self.segment_bytes = segment_bytes
+        self.dedup_window = dedup_window
         self._table: Dict[Any, Dict[str, Any]] = {}
+        #: client -> {seq: reply payload} for recent acknowledged writes
+        self._dedup: Dict[str, Dict[int, Dict[str, Any]]] = {}
         self._seg = None
         self._seg_cursor = 0
         self.gets = 0
         self.puts = 0
         self.deletes = 0
         self.misses = 0
+        self.dupes_suppressed = 0
 
     def main(self, shell):
         if self.value_segments:
@@ -71,6 +83,7 @@ class KvStore(Accelerator):
             yield shell.reply(msg, payload={
                 "keys": len(self._table), "gets": self.gets,
                 "puts": self.puts, "misses": self.misses,
+                "dupes_suppressed": self.dupes_suppressed,
             }, payload_bytes=32)
         else:
             yield shell.reply(msg, payload=f"unknown op {op!r}", error=True)
@@ -91,7 +104,28 @@ class KvStore(Accelerator):
                                         "value": entry.get("value")},
                           payload_bytes=nbytes)
 
+    def _dedup_hit(self, body) -> Optional[Dict[str, Any]]:
+        client, seq = body.get("client"), int(body.get("seq") or 0)
+        if not client or not seq:
+            return None
+        return self._dedup.get(client, {}).get(seq)
+
+    def _dedup_store(self, body, payload: Dict[str, Any]) -> None:
+        client, seq = body.get("client"), int(body.get("seq") or 0)
+        if not client or not seq:
+            return
+        window = self._dedup.setdefault(client, {})
+        window[seq] = dict(payload)
+        if len(window) > self.dedup_window:
+            for old in sorted(window)[:len(window) - self.dedup_window]:
+                del window[old]
+
     def _put(self, shell, msg, body):
+        cached = self._dedup_hit(body)
+        if cached is not None:
+            self.dupes_suppressed += 1
+            yield shell.reply(msg, payload=dict(cached), payload_bytes=8)
+            return
         self.puts += 1
         yield from self._work(KV_HASH_CYCLES)
         nbytes = int(body.get("bytes", 64))
@@ -106,10 +140,19 @@ class KvStore(Accelerator):
                                   body.get("value"), nbytes)
             self._seg_cursor += nbytes
         self._table[body.get("key")] = entry
-        yield shell.reply(msg, payload={"stored": True}, payload_bytes=8)
+        payload = {"stored": True}
+        self._dedup_store(body, payload)
+        yield shell.reply(msg, payload=payload, payload_bytes=8)
 
     def _delete(self, shell, msg, body):
+        cached = self._dedup_hit(body)
+        if cached is not None:
+            self.dupes_suppressed += 1
+            yield shell.reply(msg, payload=dict(cached), payload_bytes=8)
+            return
         self.deletes += 1
         yield from self._work(KV_HASH_CYCLES)
         existed = self._table.pop(body.get("key"), None) is not None
-        yield shell.reply(msg, payload={"deleted": existed}, payload_bytes=8)
+        payload = {"deleted": existed}
+        self._dedup_store(body, payload)
+        yield shell.reply(msg, payload=payload, payload_bytes=8)

@@ -74,7 +74,9 @@ class Cluster:
             ))
         self.directory = ServiceDirectory(self)
         self.frontend: Optional[FrontEnd] = None
+        self.replication = None
         self.killed: List[int] = []
+        self.partitioned: List[int] = []
 
     @property
     def n_fpgas(self) -> int:
@@ -134,6 +136,33 @@ class Cluster:
             self.frontend.track_all()
         return started
 
+    def start_replication(self, **kwargs):
+        """Attach the chain-replication control plane (once)."""
+        from repro.replic import ReplicationManager  # avoid a cyclic import
+
+        if self.replication is not None:
+            raise ConfigError("the replication manager is already running")
+        self.replication = ReplicationManager(self, **kwargs)
+        return self.replication
+
+    def deploy_chain(self, service, machine_factory, **kwargs):
+        """Deploy a chain-replicated stateful service.
+
+        Requires :meth:`start_replication` first — chains are inert
+        (epoch 0, rejecting everything) until the manager configures
+        them.  Returns ``(load_started_events, configured_event)``.
+        """
+        if self.replication is None:
+            raise ConfigError(
+                "start_replication() before deploying a chained service"
+            )
+        started = self.directory.deploy_chain(service, machine_factory,
+                                              **kwargs)
+        if self.frontend is not None:
+            self.frontend.track_all()
+        configured = self.replication.manage(service)
+        return started, configured
+
     def run(self, until: Optional[int] = None) -> None:
         self.engine.run(until=until)
 
@@ -171,6 +200,35 @@ class Cluster:
         for tile in system.tiles:
             if not tile.failed:
                 system.fault_manager.report(tile, "main", err)
+
+    def partition_fpga(self, index: int) -> None:
+        """Cut a board off the Ethernet fabric — both directions.
+
+        The board itself keeps running and *believes it is healthy*: its
+        tiles heartbeat, its services keep trying to serve.  Nothing
+        reports a fault, so only probe misses reveal the partition — the
+        asymmetric failure that turns a stale chain head into a
+        split-brain unless epochs fence it.
+        """
+        if index in self.partitioned or index in self.killed:
+            return
+        self.partitioned.append(index)
+        self.fabric.partition(self.systems[index].config.net.mac_addr)
+
+    def heal_fpga(self, index: int) -> None:
+        """Reconnect a partitioned board.
+
+        The board comes back exactly as it left — including any fenced
+        stale chain members, which now finally hear their ``chain.fence``
+        (and whose buffered writes get nacked).  The replication manager
+        is nudged to retry deferred replica placements.
+        """
+        if index not in self.partitioned:
+            return
+        self.partitioned.remove(index)
+        self.fabric.heal(self.systems[index].config.net.mac_addr)
+        if self.replication is not None:
+            self.replication.notify_heal()
 
     def describe(self) -> str:
         lines = [f"Apiary cluster: {self.n_fpgas} FPGA(s), "

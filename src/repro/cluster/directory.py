@@ -26,7 +26,7 @@ from __future__ import annotations
 import zlib
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.service import ClusterPortedService
 from repro.errors import ConfigError
@@ -122,13 +122,32 @@ class ServiceSpec:
     #: builds a fresh handler per instance; retained so the autoscaler
     #: can add replicas after the initial deploy (stateless services)
     handler_factory: Optional[Callable[[], Any]] = None
+    #: True for chain-replicated services: shard replicas form an ordered
+    #: chain (writes at the head, reads at the tail) instead of a
+    #: best-effort fan-out set
+    chained: bool = False
+    #: shard -> member iids in chain order, head first (chained only)
+    chains: Dict[int, List[str]] = field(default_factory=dict)
+    #: shard -> configuration epoch; bumped on every repair, so members
+    #: at an older epoch are fenced by their peers (chained only)
+    epochs: Dict[int, int] = field(default_factory=dict)
+    #: builds one shard's state machine (chained only; retained so chain
+    #: repair can splice replacement replicas)
+    machine_factory: Optional[Callable[[int], Any]] = None
 
     def candidates(self, key: Any = None) -> List[ServiceInstance]:
         """Routing candidates in preference order.
 
-        Sharded + key: the shard's replicas, primary first.  Stateless
-        (or keyless): every instance — the front-end picks least-loaded.
+        Chained + key: the shard's chain, head first (the front-end sends
+        writes to the head and reads to the tail).  Sharded + key: the
+        shard's replicas, primary first.  Stateless (or keyless): every
+        instance — the front-end picks least-loaded.
         """
+        if self.chained and key is not None:
+            shard = self.ring.shard_for(key)
+            by_iid = {i.iid: i for i in self.instances}
+            return [by_iid[iid] for iid in self.chains.get(shard, [])
+                    if iid in by_iid and by_iid[iid].ready]
         if self.sharded and key is not None:
             shard = self.ring.shard_for(key)
             owners = [i for i in self.instances
@@ -280,6 +299,183 @@ class ServiceDirectory(Namespace):
                 spec.instances.append(inst)
                 self.bind(inst.iid, (inst.fpga, inst.node))
         self.services[service] = spec
+        return started
+
+    def deploy_chain(
+        self,
+        service: str,
+        machine_factory: Callable[[int], Any],
+        n_shards: int = 4,
+        replication: int = 3,
+        vnodes: int = 64,
+    ) -> List[Event]:
+        """Shard ``service`` into replication *chains* (zero-data-loss).
+
+        ``machine_factory(shard)`` builds one shard's deterministic state
+        machine; each replica runs its own copy inside a
+        :class:`~repro.replic.chain.ChainNodeService`.  Placement matches
+        :meth:`deploy_sharded` (replicas of one shard on distinct FPGAs).
+        Chains start *unconfigured* (epoch 0, every request nacked) until
+        a :class:`~repro.replic.manager.ReplicationManager` adopts the
+        service and issues ``chain.cfg`` at epoch 1.
+        """
+        from repro.replic.chain import ChainNodeService
+
+        if service in self.services:
+            raise ConfigError(f"service {service!r} already deployed")
+        n_fpgas = len(self.cluster.systems)
+        if replication < 1:
+            raise ConfigError("replication must be >= 1")
+        if replication > n_fpgas:
+            raise ConfigError(
+                f"replication {replication} exceeds cluster size {n_fpgas} "
+                "(same-FPGA replicas share the failure domain)"
+            )
+        spec = ServiceSpec(name=service, sharded=True, chained=True,
+                           ring=HashRing(n_shards, vnodes=vnodes),
+                           replication=replication,
+                           replicate_writes=False,
+                           machine_factory=machine_factory)
+        started = []
+        for shard in range(n_shards):
+            spec.chains[shard] = []
+            spec.epochs[shard] = 0
+            for replica in range(replication):
+                fpga = (shard + replica) % n_fpgas
+                inst = ServiceInstance(service=service, fpga=fpga, node=-1,
+                                       port=self._alloc_port(),
+                                       shard=shard, replica=replica)
+                node = ChainNodeService(inst.iid, inst.port,
+                                        machine_factory(shard))
+                started.append(self._load_chain(inst, node))
+                spec.instances.append(inst)
+                spec.chains[shard].append(inst.iid)
+                self.bind(inst.iid, (inst.fpga, inst.node))
+        spec.next_replica = replication
+        self.services[service] = spec
+        return started
+
+    def add_chain_replica(self, service: str, shard: int,
+                          exclude_fpgas=()) -> Tuple[ServiceInstance, Event]:
+        """Place one fresh chain member for ``shard`` (repair splice).
+
+        The board is the lowest-indexed FPGA outside ``exclude_fpgas``
+        (callers pass dead, partitioned, and already-member boards) with a
+        free tile.  The member is *loaded but not part of the chain* —
+        the replication manager checkpoints it and flips the chain order
+        once it has caught up.  Raises :class:`ConfigError` when no
+        eligible board exists (the caller defers the replacement).
+        """
+        spec = self.spec(service)
+        if not spec.chained:
+            raise ConfigError(f"{service!r} is not chain-replicated")
+        if spec.machine_factory is None:
+            raise ConfigError(f"{service!r} kept no machine factory")
+        from repro.replic.chain import ChainNodeService
+
+        exclude = set(exclude_fpgas)
+        fpga = None
+        for i in range(len(self.cluster.systems)):
+            if i in exclude:
+                continue
+            if self.cluster.systems[i].mgmt.free_tiles():
+                fpga = i
+                break
+        if fpga is None:
+            raise ConfigError(
+                f"no eligible board for a new {service!r}/s{shard} replica"
+            )
+        inst = ServiceInstance(service=service, fpga=fpga, node=-1,
+                               port=self._alloc_port(), shard=shard,
+                               replica=spec.next_replica)
+        spec.next_replica += 1
+        node = ChainNodeService(inst.iid, inst.port,
+                                spec.machine_factory(shard))
+        started = self._load_chain(inst, node)
+        spec.instances.append(inst)
+        self.bind(inst.iid, (inst.fpga, inst.node))
+        return inst, started
+
+    def set_chain(self, service: str, shard: int, iids: List[str],
+                  epoch: int) -> None:
+        """Flip one shard's chain order + epoch (repair commit point).
+
+        Called *last* in every reconfiguration, after the members hold
+        the new epoch — so reads never route to a tail that has not yet
+        caught up and writes never route to a demoted head.
+        """
+        spec = self.spec(service)
+        if epoch < spec.epochs.get(shard, 0):
+            raise ConfigError(
+                f"chain epoch moved backwards for {service!r}/s{shard}: "
+                f"{spec.epochs.get(shard)} -> {epoch}"
+            )
+        spec.chains[shard] = list(iids)
+        spec.epochs[shard] = epoch
+
+    def remove_chain_member(self, service: str, shard: int,
+                            iid: str) -> None:
+        """Forget a dead/fenced chain member entirely."""
+        spec = self.spec(service)
+        if shard in spec.chains and iid in spec.chains[shard]:
+            spec.chains[shard].remove(iid)
+        for inst in list(spec.instances):
+            if inst.iid == iid:
+                spec.instances.remove(inst)
+                system = self.cluster.systems[inst.fpga]
+                if system.recovery is not None:
+                    system.recovery.forget(inst.endpoint)
+        if iid in self:
+            self.unbind(iid)
+
+    def chain_head(self, service: str,
+                   shard: int) -> Optional[ServiceInstance]:
+        spec = self.spec(service)
+        chain = spec.chains.get(shard, [])
+        return self._chain_inst(spec, chain[0]) if chain else None
+
+    def chain_tail(self, service: str,
+                   shard: int) -> Optional[ServiceInstance]:
+        spec = self.spec(service)
+        chain = spec.chains.get(shard, [])
+        return self._chain_inst(spec, chain[-1]) if chain else None
+
+    @staticmethod
+    def _chain_inst(spec: ServiceSpec,
+                    iid: str) -> Optional[ServiceInstance]:
+        for inst in spec.instances:
+            if inst.iid == iid:
+                return inst
+        return None
+
+    def _load_chain(self, inst: ServiceInstance, node_service) -> Event:
+        """Place one chain member on the lowest free tile of its FPGA.
+
+        Unlike :meth:`_load`, faults are *delegated*: restarting a chain
+        member in place would resurrect a stale replica (the split-brain
+        epochs exist to fence), so the recovery manager only frees the
+        slot and the replication manager repairs the chain.
+        """
+        system = self.cluster.systems[inst.fpga]
+        free = system.mgmt.free_tiles()
+        if not free:
+            raise ConfigError(
+                f"FPGA {inst.fpga} has no free tile for {inst.iid}"
+            )
+        inst.node = free[0]
+        if system.recovery is not None:
+            started = system.recovery.deploy(
+                inst.node, lambda n=node_service: n,
+                endpoint=inst.endpoint, delegate="replication")
+        else:
+            started = system.mgmt.load(inst.node, node_service,
+                                       endpoint=inst.endpoint)
+
+        def mark_ready(ev, i=inst):
+            if not ev.failed:
+                i.ready = True
+
+        started.add_callback(mark_ready)
         return started
 
     def _load(self, inst: ServiceInstance, handler) -> Event:

@@ -40,7 +40,7 @@ from repro.cluster.directory import ServiceInstance, ServiceSpec
 from repro.errors import ConfigError, ServiceUnavailable
 from repro.net.transport import ReliableEndpoint
 from repro.policy import RetryPolicy
-from repro.sim import Event
+from repro.sim import Event, StatsRegistry
 
 __all__ = ["FRONTEND_PORT", "BackendHealth", "FrontEnd"]
 
@@ -118,8 +118,11 @@ class FrontEnd:
 
         self._peers: Dict[str, ReliableEndpoint] = {}
         self._irid = itertools.count(1)
-        #: internal request id -> (waiter event, instance iid)
-        self._awaiting: Dict[int, Tuple[Event, str]] = {}
+        #: internal request id -> (waiter event, instance iid, kind);
+        #: kind is "req" (a client waits), "repl" (fire-and-forget write
+        #: replication — nobody waits, but losses must be *counted*), or
+        #: "probe" (health ping)
+        self._awaiting: Dict[int, Tuple[Event, str, str]] = {}
         self._queues: Dict[str, List[Tuple[int, Any, int]]] = {}
         self._kicks: Dict[str, Event] = {}
         self._probe_stuck: Dict[str, int] = {}
@@ -135,6 +138,10 @@ class FrontEnd:
         self.responses_sent = 0
         self.batches_sent = 0
         self.failovers = 0
+        self.chain_nacks = 0
+        #: operator-facing counters (``frontend.writes_unreplicated`` is
+        #: the satellite-1 divergence signal for the legacy fan-out path)
+        self.stats = StatsRegistry()
 
         self.fabric.attach(mac, self._rx_frame)
         for fpga, system in enumerate(cluster.systems):
@@ -199,13 +206,19 @@ class FrontEnd:
         queue = self._queues.get(iid, [])
         dead = [irid for irid, _body, _nb in queue]
         del queue[:]
-        dead += [irid for irid, (_ev, owner) in self._awaiting.items()
+        dead += [irid for irid, (_ev, owner, _kind) in self._awaiting.items()
                  if owner == iid]
         for irid in dead:
             entry = self._awaiting.pop(irid, None)
             if entry is not None:
-                waiter, _owner = entry
+                waiter, _owner, kind = entry
                 health.outstanding -= 1
+                if kind == "repl":
+                    # nobody waits on a fire-and-forget replica write, but
+                    # a silent drop here is exactly how replicas diverge —
+                    # count it where operators can see it
+                    self.stats.counter("frontend.writes_unreplicated").inc()
+                    continue
                 if not waiter.triggered:
                     waiter.fail(ServiceUnavailable(f"{iid} down: {why}"))
 
@@ -248,11 +261,21 @@ class FrontEnd:
         entry = self._awaiting.pop(irid, None)
         if entry is None:
             return  # late response to an abandoned attempt
-        waiter, iid = entry
+        waiter, iid, _kind = entry
         health = self.health[iid]
         health.mark_ok()
         health.outstanding -= 1
         health.served += 1
+        if isinstance(body, dict) and "_chain_nack" in body:
+            # the member answered but refused (not head/tail, fenced,
+            # unconfigured): the node is *healthy*, the routing is stale —
+            # fail the attempt so the retry re-resolves the chain
+            self.chain_nacks += 1
+            self.stats.counter("frontend.chain_nacks").inc()
+            if not waiter.triggered:
+                waiter.fail(ServiceUnavailable(
+                    f"{iid} refused: {body['_chain_nack']}"))
+            return
         if not waiter.triggered:
             waiter.succeed(body)
 
@@ -261,7 +284,7 @@ class FrontEnd:
         entry = self._awaiting.pop(irid, None)
         if entry is None:
             return
-        _waiter, iid = entry
+        _waiter, iid, _kind = entry
         health = self.health[iid]
         health.outstanding -= 1
         health.mark_miss()
@@ -293,6 +316,14 @@ class FrontEnd:
             self._reply(client_mac, rid, {"ok": False, "error": str(err)})
             return
         key = req.get("key")
+        is_write = bool(req.get("write"))
+        if spec.chained and key is None:
+            self.inflight -= 1
+            self.requests_failed += 1
+            self._reply(client_mac, rid, {
+                "ok": False,
+                "error": f"chained service {service!r} requires a key"})
+            return
         candidates = spec.candidates(key)
         trace_id = root = 0
         if self.spans.enabled:
@@ -301,11 +332,17 @@ class FrontEnd:
                                    "cluster", self.mac, self.engine.now,
                                    service=service, key=key)
         rotation = itertools.count()
+        # a stable write id across this request's *frontend* attempts:
+        # the chain head dedups retried writes it already logged
+        wid = f"{client_mac}#{rid}" if (spec.chained and is_write) else None
 
         def attempt(attempt_timeout: int) -> Event:
-            inst = self._pick(spec, candidates, next(rotation))
+            if spec.chained:
+                inst = self._pick_chain(spec, key, is_write)
+            else:
+                inst = self._pick(spec, candidates, next(rotation))
             return self._dispatch(spec, inst, req, attempt_timeout,
-                                  trace_id, root)
+                                  trace_id, root, wid=wid)
 
         def count_failover() -> None:
             self.failovers += 1
@@ -348,9 +385,34 @@ class FrontEnd:
         return min(healthy,
                    key=lambda i: (self.health[i.iid].outstanding, i.replica))
 
+    def _pick_chain(self, spec: ServiceSpec, key: Any,
+                    is_write: bool) -> ServiceInstance:
+        """Chained routing: writes to the head, reads to the tail.
+
+        Re-resolved *per attempt* — chain repair flips the directory's
+        chain order mid-request, and the retry must land on the new
+        head/tail, not whatever the first attempt saw.  The raise is
+        retryable: mid-repair there may briefly be no routable member.
+        """
+        shard = spec.ring.shard_for(key)
+        chain = spec.chains.get(shard, [])
+        if not chain:
+            raise ServiceUnavailable(
+                f"{spec.name!r} shard {shard} has no chain"
+            )
+        iid = chain[0] if is_write else chain[-1]
+        inst = next((i for i in spec.instances if i.iid == iid), None)
+        if inst is None or not inst.ready:
+            raise ServiceUnavailable(f"{iid} is not ready")
+        health = self.health.get(iid)
+        if health is None or not health.healthy:
+            raise ServiceUnavailable(f"{iid} is unhealthy")
+        return inst
+
     def _dispatch(self, spec: ServiceSpec, inst: ServiceInstance,
                   req: Dict[str, Any], attempt_timeout: int,
-                  trace_id: int, root: int) -> Event:
+                  trace_id: int, root: int,
+                  wid: Optional[str] = None) -> Event:
         """Queue one attempt on ``inst``; event resolves with the body."""
         fwd = 0
         if trace_id:
@@ -360,11 +422,14 @@ class FrontEnd:
                                   node=inst.node)
         nbytes = int(req.get("nbytes", 64))
         irid, inner = self._enqueue(inst,
-                                    self._wire_body(req, trace_id, fwd),
+                                    self._wire_body(req, trace_id, fwd,
+                                                    wid=wid),
                                     nbytes)
-        if (req.get("write") and spec.sharded and spec.replicate_writes):
-            # replicate the write so failover targets have the data;
-            # best-effort (the client's ack is the addressed replica's)
+        if (req.get("write") and spec.sharded and spec.replicate_writes
+                and not spec.chained):
+            # legacy best-effort replication (the client's ack is the
+            # addressed replica's alone; chained services replicate
+            # through the chain instead and never take this path)
             for other in spec.candidates(req.get("key")):
                 if other.iid != inst.iid and self.health[other.iid].healthy:
                     self._enqueue(other,
@@ -399,18 +464,23 @@ class FrontEnd:
         return outer
 
     @staticmethod
-    def _wire_body(req: Dict[str, Any], trace_id: int, span: int) -> Any:
+    def _wire_body(req: Dict[str, Any], trace_id: int, span: int,
+                   wid: Optional[str] = None) -> Any:
         body = req.get("body")
-        if trace_id and isinstance(body, dict):
+        if isinstance(body, dict) and (trace_id or wid is not None):
             body = dict(body)
-            body["_trace"] = (trace_id, span)
+            if trace_id:
+                body["_trace"] = (trace_id, span)
+            if wid is not None:
+                body["_wid"] = wid
         return body
 
     def _enqueue(self, inst: ServiceInstance, body: Any, nbytes: int,
                  fire_and_forget: bool = False) -> Tuple[int, Event]:
         irid = next(self._irid)
         waiter = self.engine.event(f"fe.req#{irid}")
-        self._awaiting[irid] = (waiter, inst.iid)
+        kind = "repl" if fire_and_forget else "req"
+        self._awaiting[irid] = (waiter, inst.iid, kind)
         self.health[inst.iid].outstanding += 1
         self._queues[inst.iid].append((irid, body, nbytes))
         kick = self._kicks.pop(inst.iid, None)
@@ -423,10 +493,18 @@ class FrontEnd:
         return irid, waiter
 
     def _abandon_quietly(self, irid: int) -> None:
-        """Drop a fire-and-forget entry without charging a health miss."""
+        """Timebox a fire-and-forget replica write.
+
+        Still pending after a full attempt timeout means the replica
+        never acked it — the write is, as far as anyone can prove,
+        unreplicated.  The old code dropped this on the floor; divergence
+        between replicas was invisible until a failover served stale
+        data.  No health miss is charged (the primary path owns health).
+        """
         entry = self._awaiting.pop(irid, None)
         if entry is not None:
             self.health[entry[1]].outstanding -= 1
+            self.stats.counter("frontend.writes_unreplicated").inc()
 
     # -- per-instance batching + probing ----------------------------------
 
@@ -479,7 +557,7 @@ class FrontEnd:
                 continue
             irid = next(self._irid)
             waiter = self.engine.event(f"fe.probe#{irid}")
-            self._awaiting[irid] = (waiter, iid)
+            self._awaiting[irid] = (waiter, iid, "probe")
             health.outstanding += 1
             health.probes_sent += 1
             self._probe_stuck[iid] += 1
@@ -520,6 +598,30 @@ class FrontEnd:
         )
 
     # -- introspection -----------------------------------------------------
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Operator snapshot: routing counters + the stats registry.
+
+        ``writes_unreplicated`` is the headline number — every
+        best-effort replica write that was never acknowledged.  Nonzero
+        means replicas of a legacy (non-chained) sharded service may have
+        diverged and a failover can serve stale data.
+        """
+        counters = self.stats.snapshot()["counters"]
+        return {
+            "requests_admitted": self.requests_admitted,
+            "requests_rejected": self.requests_rejected,
+            "requests_failed": self.requests_failed,
+            "responses_sent": self.responses_sent,
+            "batches_sent": self.batches_sent,
+            "failovers": self.failovers,
+            "inflight": self.inflight,
+            "chain_nacks": self.chain_nacks,
+            "writes_unreplicated": int(
+                counters.get("frontend.writes_unreplicated", 0)),
+            "counters": counters,
+            "health": self.health_table(),
+        }
 
     def health_table(self) -> Dict[str, Dict[str, Any]]:
         """Live health snapshot, keyed by instance id."""

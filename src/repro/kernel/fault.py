@@ -87,6 +87,7 @@ class FaultManager:
             # accelerator externalized so the context could be resumed
             # elsewhere, and leave every other context running.
             tile.saved_contexts[context] = accel.externalize_state()
+            tile.saved_context_owners[context] = tile.deployed_endpoint
         else:
             action = "drained"
             self.stats.counter("fault.tiles_drained").inc()

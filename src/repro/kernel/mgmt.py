@@ -168,6 +168,8 @@ class MgmtPlane:
             node=node, accelerator=accelerator.name)
         if endpoint is not None:
             self.register_endpoint(endpoint, node)
+        tile.deployed_endpoint = endpoint if endpoint is not None \
+            else tile.endpoint
         if wire_services:
             for svc in self.service_endpoints:
                 self.grant_send(tile.endpoint, svc)
@@ -278,6 +280,7 @@ class MgmtPlane:
         for name in self.namespace.names_at(node):
             if name != tile.endpoint:
                 self.unregister_endpoint(name)
+        tile.deployed_endpoint = None
         done = tile.stop_and_unload()
         if span:
             done.add_callback(
@@ -336,9 +339,15 @@ class MgmtPlane:
         failed = True
         try:
             state = source.accelerator.externalize_state()
-            # include any contexts the fault manager parked on the tile
-            for saved in source.saved_contexts.values():
-                state.update(saved)
+            # include contexts the fault manager parked on the tile — but
+            # only the migrating deployment's own (another tenant's parked
+            # context must stay behind for *its* recovery, not ride along)
+            mine = source.deployed_endpoint
+            for ctx in sorted(source.saved_contexts):
+                owner = source.saved_context_owners.get(ctx)
+                if owner is None or mine is None or owner == mine:
+                    state.update(source.saved_contexts.pop(ctx))
+                    source.saved_context_owners.pop(ctx, None)
             yield self.teardown(node_from, trace=child)
             replacement = make_accelerator()
             replacement.restore_state(state)

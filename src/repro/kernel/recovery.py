@@ -47,6 +47,12 @@ class Deployment:
     node: int
     signed_by: Optional[str] = None
     restarts: int = 0
+    #: name of the subsystem that owns this deployment's fault handling
+    #: (e.g. "replication").  When set, the recovery manager does NOT
+    #: restart/restore on fault — a blind restore of a chain member would
+    #: resurrect state the chain has moved past; the delegate repairs
+    #: (promote/splice) through its own fault subscription instead.
+    delegate: Optional[str] = None
 
 
 @dataclass
@@ -112,12 +118,13 @@ class RecoveryManager:
     # -- deployment registry ------------------------------------------------
 
     def deploy(self, node: int, factory: Callable[[], Any], endpoint: str,
-               signed_by: Optional[str] = None) -> Event:
+               signed_by: Optional[str] = None,
+               delegate: Optional[str] = None) -> Event:
         """Load ``factory()`` on ``node`` and keep it alive at ``endpoint``."""
         if endpoint in self.deployments:
             raise ConfigError(f"{endpoint!r} is already a managed deployment")
         dep = Deployment(endpoint=endpoint, factory=factory, node=node,
-                         signed_by=signed_by)
+                         signed_by=signed_by, delegate=delegate)
         self.deployments[endpoint] = dep
         return self.mgmt.load(node, factory(), endpoint=endpoint,
                               signed_by=signed_by)
@@ -141,6 +148,8 @@ class RecoveryManager:
         dep = self._deployment_on(tile)
         if dep is not None and dep.endpoint not in self._recovering:
             self.stats.counter("recovery.fault_detections").inc()
+            if self._delegated(dep, tile.node):
+                return
             self._start_recovery(dep)
 
     def _watchdog(self):
@@ -153,10 +162,42 @@ class RecoveryManager:
                 if dep.endpoint in self._recovering:
                     continue
                 tile = self.mgmt.tiles[dep.node]
+                if tile.region.reconfiguring:
+                    # the deployment's bitstream is still loading; any
+                    # failed/drained flags belong to the slot's previous
+                    # tenant (a reused tile keeps them until load completes)
+                    continue
                 beat = tile.monitor.heartbeat()
                 if tile.failed or beat["drained"]:
                     self.stats.counter("recovery.watchdog_detections").inc()
+                    if self._delegated(dep, dep.node):
+                        continue
                     self._start_recovery(dep)
+
+    def _delegated(self, dep: Deployment, node: int) -> bool:
+        """Hand a delegated deployment's fault to its owning subsystem.
+
+        Restoring a replicated-chain member in place would resurrect a
+        pre-fault replica the chain has already reconfigured around — the
+        split-brain the epoch machinery exists to prevent.  So: stop
+        managing it, free the slot, and let the delegate (which subscribes
+        to the same fault notifications) run chain repair instead.
+        """
+        if dep.delegate is None:
+            return False
+        self.stats.counter("recovery.delegated").inc()
+        self.tracer.emit(self.engine.now, "recovery.delegate",
+                         dep.endpoint, node=node, to=dep.delegate)
+        self.forget(dep.endpoint)
+        self.engine.process(self._teardown_quietly(node),
+                            name=f"recovery.clear.{dep.endpoint}")
+        return True
+
+    def _teardown_quietly(self, node: int):
+        try:
+            yield self.mgmt.teardown(node)
+        except ReproError:
+            pass  # slot already blank or mid-reconfig; nothing to free
 
     def stop(self) -> None:
         """Disable detection (the watchdog exits on its next tick)."""
@@ -196,11 +237,17 @@ class RecoveryManager:
             self.forget(dep.endpoint)
             return
         # capture what must survive: parked contexts and the policy-level
-        # grant record (teardown revokes the actual capabilities)
+        # grant record (teardown revokes the actual capabilities).  Only
+        # *this deployment's* contexts merge — two co-resident preemptible
+        # accelerators may park overlapping state keys, and a blind merge
+        # restores tenant A's registers into tenant B last-writer-wins.
+        # Unowned contexts (no provenance recorded) keep the old behavior.
         saved: Dict[str, Any] = {}
-        for state in tile.saved_contexts.values():
-            saved.update(state)
-        tile.saved_contexts.clear()
+        for ctx in sorted(tile.saved_contexts):
+            owner = tile.saved_context_owners.get(ctx)
+            if owner is None or owner == dep.endpoint:
+                saved.update(tile.saved_contexts.pop(ctx))
+                tile.saved_context_owners.pop(ctx, None)
         old_holder = tile.endpoint
         prior_grants = self.mgmt.grants_of(old_holder)
 

@@ -41,6 +41,14 @@ class Tile:
         self.accelerator = None
         self.main_process: Optional[Process] = None
         self.saved_contexts: Dict[str, Dict[str, Any]] = {}
+        #: context name -> deployment endpoint that owned it when saved;
+        #: restore paths match on this so two tenants' contexts parked on
+        #: one tile never merge (None = unowned, matches any — legacy)
+        self.saved_context_owners: Dict[str, Optional[str]] = {}
+        #: the logical endpoint loaded here (set by mgmt.load, cleared by
+        #: teardown) — provenance for saved contexts, since
+        #: ``tile.endpoint`` is the *tile's* name, not the deployment's
+        self.deployed_endpoint: Optional[str] = None
         self.failed = False
         #: cycle of the most recent fail-stop; recovery computes MTTR from it
         self.failed_at: Optional[int] = None

@@ -70,10 +70,12 @@ class EthernetFabric:
         self.max_frame = 9000 if jumbo else MAX_FRAME_BYTES
         self._rng = rng
         self._endpoints: Dict[str, Callable[[EthernetFrame], None]] = {}
+        self._partitioned: set = set()
         self.frames_delivered = 0
         self.frames_dropped = 0
         self.frames_lost = 0
         self.frames_corrupted = 0
+        self.frames_partitioned = 0
         self.bytes_carried = 0
 
     def set_loss(self, rate: float,
@@ -106,6 +108,21 @@ class EthernetFabric:
     def detach(self, mac: str) -> None:
         self._endpoints.pop(mac, None)
 
+    def partition(self, mac: str) -> None:
+        """Cut ``mac`` off the segment *both ways* — frames it sends and
+        frames sent to it vanish in flight.  Unlike :meth:`detach` the
+        endpoint stays attached and keeps transmitting into the void,
+        which is exactly the asymmetric-knowledge failure (the node
+        believes it is fine) that epoch fencing exists to contain."""
+        self._partitioned.add(mac)
+
+    def heal(self, mac: str) -> None:
+        """Reconnect a partitioned endpoint."""
+        self._partitioned.discard(mac)
+
+    def is_partitioned(self, mac: str) -> bool:
+        return mac in self._partitioned
+
     def transmit(self, frame: EthernetFrame) -> None:
         """Inject a frame; delivery happens ``latency_cycles`` later."""
         if frame.nbytes > self.max_frame:
@@ -113,6 +130,10 @@ class EthernetFabric:
                 f"frame of {frame.nbytes}B exceeds fabric MTU {self.max_frame}"
             )
         frame.sent_at = self.engine.now
+        if self._partitioned and (frame.src_mac in self._partitioned
+                                  or frame.dst_mac in self._partitioned):
+            self.frames_partitioned += 1
+            return
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.frames_lost += 1
             return

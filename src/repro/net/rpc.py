@@ -32,6 +32,12 @@ class RpcRequest:
     # responder so the handler span joins the caller's trace
     trace_id: int = 0
     span_id: int = 0
+    # at-most-once identity: ``rid`` is fresh per transmission (it matches
+    # responses to waiters), while ``(client, seq)`` names the *logical*
+    # request — a retry after a timeout reuses the seq, so a server-side
+    # dedup window can suppress the second application
+    client: str = ""
+    seq: int = 0
 
 
 @dataclass
@@ -52,26 +58,42 @@ class RpcCaller:
 
     def __init__(self, engine: Engine, send: Callable[[RpcRequest], None],
                  reply_to: str = "", name: str = "rpc",
-                 spans: Optional[SpanRecorder] = None):
+                 spans: Optional[SpanRecorder] = None,
+                 client_id: str = ""):
         self.engine = engine
         self.send = send
         self.reply_to = reply_to
         self.name = name
         self.spans = spans if spans is not None else SpanRecorder()
+        #: stable identity for the server-side dedup window — defaults to
+        #: the reply address (unique per caller on any one transport)
+        self.client_id = client_id or reply_to or name
         self._rid = itertools.count(1)
+        self._seq = itertools.count(1)
         self._pending: Dict[int, Event] = {}
         self.requests_sent = 0
         self.responses_matched = 0
         self.orphan_responses = 0
 
-    def call(self, method: str, body: Any = None, body_bytes: int = 0) -> Event:
-        """Returns an event that succeeds with the :class:`RpcResponse`."""
+    def next_seq(self) -> int:
+        """Mint a logical-request id for an idempotent (retriable) call."""
+        return next(self._seq)
+
+    def call(self, method: str, body: Any = None, body_bytes: int = 0,
+             seq: int = 0) -> Event:
+        """Returns an event that succeeds with the :class:`RpcResponse`.
+
+        ``seq`` (from :meth:`next_seq`) names the logical request for
+        at-most-once servers; pass the *same* seq when retrying a call
+        that timed out, and a fresh one for each new logical request.
+        """
         rid = next(self._rid)
         done = self.engine.event(f"{self.name}.call#{rid}")
         self._pending[rid] = done
         self.requests_sent += 1
         request = RpcRequest(rid=rid, method=method, body=body,
-                             body_bytes=body_bytes, reply_to=self.reply_to)
+                             body_bytes=body_bytes, reply_to=self.reply_to,
+                             client=self.client_id if seq else "", seq=seq)
         spans = self.spans
         if spans.enabled:
             # root span covering the whole RPC, issue to response match

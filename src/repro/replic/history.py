@@ -1,0 +1,170 @@
+"""Linearizability checking for the R2 chaos campaign.
+
+Full linearizability checking (Wing & Gong / Knossos style) is
+NP-complete in general; the R2 workload is deliberately shaped so a
+linear-time checker is *complete*, not just sound, for the properties
+we claim:
+
+* **One writer per key**, writing strictly increasing integer values
+  1, 2, 3, ... — so the value itself totally orders the writes of a
+  key, and "version" bookkeeping in the state machine is unnecessary.
+* Reads go through the front-end to the chain tail (or solo survivor).
+
+Under that workload, zero-data-loss and linearizability reduce to four
+per-key conditions over the recorded history:
+
+1. **Durability** — the final value read back after the chaos campaign
+   is >= the largest value whose write was *acknowledged* to the
+   client.  An acked write that is missing from the final state is
+   data loss, the headline violation R2 exists to catch.
+2. **No stale reads** — a read that *started* after value ``v`` was
+   acked must observe >= ``v``.  (The ack means the tail committed
+   ``v``; any later-starting read that sees less has time-travelled.)
+3. **No future reads** — a read must observe <= the largest value
+   whose write had *started* before the read completed.  Seeing a
+   value nobody had submitted yet means the history is corrupt.
+4. **Read monotonicity** — for non-overlapping reads of the same key,
+   the later read observes >= the earlier read's value.  (With one
+   writer and increasing values this is exactly "no read re-ordering".)
+
+Failed or timed-out writes are recorded too (``acked=False``): they
+are allowed to be applied or lost — either outcome is linearizable —
+so they widen what reads may legally observe but never count toward
+durability.
+
+The checker is deterministic: its report depends only on the recorded
+history, so same-seed campaigns produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["HistoryChecker", "WriteRecord", "ReadRecord"]
+
+
+@dataclass
+class WriteRecord:
+    key: str
+    value: int
+    invoked_at: int
+    responded_at: int
+    acked: bool
+
+
+@dataclass
+class ReadRecord:
+    key: str
+    value: int          # 0 when the key was not found
+    invoked_at: int
+    responded_at: int
+
+
+@dataclass
+class _KeyHistory:
+    writes: List[WriteRecord] = field(default_factory=list)
+    reads: List[ReadRecord] = field(default_factory=list)
+    final: Optional[int] = None
+
+
+class HistoryChecker:
+    """Records a monotone-register history and checks it after the run."""
+
+    def __init__(self) -> None:
+        self._keys: Dict[str, _KeyHistory] = {}
+
+    def _hist(self, key: str) -> _KeyHistory:
+        if key not in self._keys:
+            self._keys[key] = _KeyHistory()
+        return self._keys[key]
+
+    # -- recording ---------------------------------------------------------
+
+    def record_write(self, key: str, value: int, invoked_at: int,
+                     responded_at: int, acked: bool) -> None:
+        self._hist(key).writes.append(
+            WriteRecord(key, value, invoked_at, responded_at, acked))
+
+    def record_read(self, key: str, value: int, invoked_at: int,
+                    responded_at: int) -> None:
+        self._hist(key).reads.append(
+            ReadRecord(key, value, invoked_at, responded_at))
+
+    def record_final(self, key: str, value: int) -> None:
+        """The value a post-campaign client ``get`` observed (0 = missing)."""
+        self._hist(key).final = value
+
+    # -- checking ----------------------------------------------------------
+
+    def check(self) -> Dict[str, object]:
+        """Scan the whole history; returns a deterministic report dict."""
+        violations: List[Dict[str, object]] = []
+        acked_writes = 0
+        failed_writes = 0
+        total_reads = 0
+        lost_acked = 0
+
+        for key in sorted(self._keys):
+            hist = self._keys[key]
+            acked = [w for w in hist.writes if w.acked]
+            acked_writes += len(acked)
+            failed_writes += len(hist.writes) - len(acked)
+            total_reads += len(hist.reads)
+            max_acked = max((w.value for w in acked), default=0)
+
+            # 1. durability: every acked write survives to the final state.
+            if hist.final is not None and hist.final < max_acked:
+                lost_acked += max_acked - hist.final
+                violations.append({
+                    "kind": "lost_acked_write", "key": key,
+                    "final": hist.final, "max_acked": max_acked,
+                })
+
+            reads = sorted(hist.reads,
+                           key=lambda r: (r.invoked_at, r.responded_at))
+            for r in reads:
+                # 2. stale read: acked strictly before the read started.
+                floor = max((w.value for w in acked
+                             if w.responded_at < r.invoked_at), default=0)
+                if r.value < floor:
+                    violations.append({
+                        "kind": "stale_read", "key": key,
+                        "observed": r.value, "acked_floor": floor,
+                        "invoked_at": r.invoked_at,
+                    })
+                # 3. future read: nobody had even submitted a bigger value.
+                ceiling = max((w.value for w in hist.writes
+                               if w.invoked_at <= r.responded_at), default=0)
+                if r.value > ceiling:
+                    violations.append({
+                        "kind": "future_read", "key": key,
+                        "observed": r.value, "submitted_ceiling": ceiling,
+                        "invoked_at": r.invoked_at,
+                    })
+
+            # 4. monotonicity across non-overlapping reads of one key.
+            done = sorted(hist.reads,
+                          key=lambda r: (r.responded_at, r.invoked_at))
+            high = 0
+            high_end = -1
+            for r in done:
+                if r.invoked_at > high_end and r.value < high:
+                    violations.append({
+                        "kind": "read_regression", "key": key,
+                        "observed": r.value, "previously_read": high,
+                        "invoked_at": r.invoked_at,
+                    })
+                if r.value > high:
+                    high = r.value
+                    high_end = r.responded_at
+
+        return {
+            "keys": len(self._keys),
+            "acked_writes": acked_writes,
+            "failed_writes": failed_writes,
+            "reads": total_reads,
+            "lost_acked_writes": lost_acked,
+            "violations": violations,
+            "linearizable": not violations,
+        }

@@ -291,8 +291,7 @@ class TileScheduler:
         self.stats.counter("sched.preemptions").inc()
         if preemptible:
             state = accelerator.externalize_state()
-            for saved in tile.saved_contexts.values():
-                state.update(saved)
+            self._consume_saved_contexts(tile, victim, state)
             victim.saved_state.update(state)
             mode = "checkpoint"
         else:
@@ -344,6 +343,19 @@ class TileScheduler:
             self._migrating.discard(victim.id)
             self._wake()
 
+    @staticmethod
+    def _consume_saved_contexts(tile, job, state: dict) -> None:
+        """Merge the tile's parked contexts belonging to ``job`` into
+        ``state`` and remove them from the tile.  Contexts another
+        deployment owns stay parked for *its* recovery — merging them
+        here would leak one tenant's checkpoint into another's restore."""
+        mine = job.spec.endpoint
+        for ctx in sorted(tile.saved_contexts):
+            owner = tile.saved_context_owners.get(ctx)
+            if owner is None or mine is None or owner == mine:
+                state.update(tile.saved_contexts.pop(ctx))
+                tile.saved_context_owners.pop(ctx, None)
+
     # -- fault handling ----------------------------------------------------
 
     def _on_fault(self, tile, record) -> None:
@@ -357,8 +369,7 @@ class TileScheduler:
         job.node = None
         self.stats.counter("sched.fault_requeues").inc()
         # anything the fault manager checkpointed survives to the re-place
-        for saved in tile.saved_contexts.values():
-            job.saved_state.update(saved)
+        self._consume_saved_contexts(tile, job, job.saved_state)
         if job.id in self._migrating:
             return  # the migrate process sees the failure and requeues
         if job.faults > self.max_faults:

@@ -178,6 +178,63 @@ class TestKvStore:
         assert responses[-1]["keys"] == 5
         assert responses[-1]["puts"] == 5
 
+    def test_retried_put_is_not_double_applied(self):
+        """At-most-once regression: a client that timed out and resends
+        the same logical write (same ``client``/``seq``) gets the original
+        ack back, and the store applies the put exactly once."""
+        system = booted()
+        kv = KvStore("kv")
+        start(system, 2, kv, endpoint="app.kv")
+        put = {"key": "k", "bytes": 64, "value": "v1",
+               "client": "h0", "seq": 7}
+        responses = drive(system, 3, "app.kv", [
+            ("kv.put", dict(put), 64),
+            ("kv.put", dict(put), 64),          # the timeout retry
+            ("kv.put", {**put, "seq": 8, "value": "v2"}, 64),  # a new write
+            ("kv.get", {"key": "k"}, 16),
+        ])
+        assert responses[0]["stored"] and responses[1]["stored"]
+        assert kv.puts == 2, "the duplicate must not re-apply"
+        assert kv.dupes_suppressed == 1
+        assert responses[3]["value"] == "v2"
+
+    def test_retried_delete_replays_original_outcome(self):
+        system = booted()
+        kv = KvStore("kv")
+        start(system, 2, kv, endpoint="app.kv")
+        responses = drive(system, 3, "app.kv", [
+            ("kv.put", {"key": "k", "bytes": 64, "value": "v"}, 64),
+            ("kv.delete", {"key": "k", "client": "h0", "seq": 1}, 16),
+            # retry after timeout: without the dedup window this would
+            # observe deleted=False and confuse the client
+            ("kv.delete", {"key": "k", "client": "h0", "seq": 1}, 16),
+        ])
+        assert responses[1]["deleted"] is True
+        assert responses[2]["deleted"] is True
+        assert kv.deletes == 1
+
+    def test_dedup_window_is_bounded_per_client(self):
+        system = booted()
+        kv = KvStore("kv", dedup_window=4)
+        start(system, 2, kv, endpoint="app.kv")
+        drive(system, 3, "app.kv", [
+            ("kv.put", {"key": i, "bytes": 64, "client": "h0", "seq": i},
+             64)
+            for i in range(1, 11)
+        ])
+        assert len(kv._dedup["h0"]) == 4
+        assert sorted(kv._dedup["h0"]) == [7, 8, 9, 10]
+
+    def test_writes_without_identity_never_dedup(self):
+        system = booted()
+        kv = KvStore("kv")
+        start(system, 2, kv, endpoint="app.kv")
+        drive(system, 3, "app.kv", [
+            ("kv.put", {"key": "k", "bytes": 64, "value": 1}, 64),
+            ("kv.put", {"key": "k", "bytes": 64, "value": 2}, 64),
+        ])
+        assert kv.puts == 2 and kv.dupes_suppressed == 0
+
 
 class TestCrypto:
     def test_session_lifecycle(self):

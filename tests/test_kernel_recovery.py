@@ -192,6 +192,45 @@ class TestStateResumption:
         assert len(instances) == 2
         assert instances[1].count == 41
 
+    def test_foreign_saved_contexts_do_not_ride_along(self):
+        """Owner-keyed contexts: another deployment's parked state on the
+        same tile must not merge into this deployment's replacement (and
+        must stay parked for its own recovery)."""
+        restored = []
+
+        class Probe(Accelerator):
+            preemptible = True
+
+            def externalize_state(self):
+                return {}
+
+            def restore_state(self, state):
+                restored.append(dict(state))
+
+            def main(self, shell):
+                while True:
+                    msg = yield shell.recv()
+                    yield shell.reply(msg, payload="ok")
+
+        system = booted()
+        manager = system.enable_recovery()
+        started = manager.deploy(2, lambda: Probe("probe"), "app.probe")
+        system.run_until(started)
+        tile = system.tiles[2]
+        # my own parked context, plus a co-resident tenant's
+        tile.saved_contexts["mine"] = {"count": 7}
+        tile.saved_context_owners["mine"] = "app.probe"
+        tile.saved_contexts["theirs"] = {"count": 99, "secret": True}
+        tile.saved_context_owners["theirs"] = "app.other"
+        tile.inject_crash()
+        system.run(until=system.engine.now + 2_000_000)
+        assert manager.recoveries
+        assert restored and restored[-1] == {"count": 7}
+        # the foreign context is still parked, awaiting its own recovery
+        assert tile.saved_contexts.get("theirs") == {"count": 99,
+                                                     "secret": True}
+        assert tile.saved_context_owners.get("theirs") == "app.other"
+
 
 class TestGivingUp:
     def test_abandons_after_max_restarts(self):

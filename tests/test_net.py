@@ -382,6 +382,25 @@ class TestRpc:
         eng.run()
         assert errors == ["peer failed"]
 
+    def test_logical_request_identity_survives_retry(self):
+        """``rid`` is fresh per transmission; ``(client, seq)`` names the
+        logical request, so a retry of the same seq is server-deduplicable
+        while plain calls carry no identity at all."""
+        eng = Engine()
+        sent = []
+        caller = RpcCaller(eng, sent.append, reply_to="hostA")
+        seq = caller.next_seq()
+        caller.call("put", body={"k": 1}, seq=seq)
+        caller.call("put", body={"k": 1}, seq=seq)  # timeout retry
+        caller.call("put", body={"k": 2}, seq=caller.next_seq())
+        caller.call("get", body={"k": 1})  # no identity requested
+        rids = [r.rid for r in sent]
+        assert len(set(rids)) == 4, "every transmission gets a fresh rid"
+        assert (sent[0].client, sent[0].seq) == ("hostA", 1)
+        assert (sent[1].client, sent[1].seq) == ("hostA", 1)
+        assert (sent[2].client, sent[2].seq) == ("hostA", 2)
+        assert (sent[3].client, sent[3].seq) == ("", 0)
+
     def test_duplicate_method_registration_rejected(self):
         eng = Engine()
         _caller, responder = self.make_pair(eng)
