@@ -11,33 +11,42 @@ load-balancing front-end.  Construction::
     fe = cluster.start_frontend()
 
 Each FPGA derives its per-board config from the base via
-``dataclasses.replace`` (unique MAC, shifted seed); all boards share one
-:class:`~repro.sim.Engine` (one simulated clock domain), one
-:class:`~repro.net.frame.EthernetFabric`, and one
-:class:`~repro.obs.span.SpanRecorder` — so a single causal trace spans
-client, front-end, and whichever board served the request.
+``dataclasses.replace`` (unique MAC, shifted seed).  *How* the boards
+execute is a :class:`~repro.cluster.backend.ClusterBackend`:
+
+* ``backend="shared"`` (default) — all boards share one
+  :class:`~repro.sim.Engine`, one fabric, one span recorder; a single
+  causal trace spans client, front-end, and server board.
+* ``backend="sequential"`` / ``backend="parallel"`` — each board gets a
+  private engine and advances in conservative lookahead windows (see
+  ``backend.py``); ``parallel`` runs board windows on forked workers
+  after :meth:`seal`.  ``cluster.engine`` / ``cluster.fabric`` /
+  ``cluster.spans`` then name the *host* partition's objects (front-end
+  and clients attach there); per-board state is reachable through
+  :meth:`merged_spans` / :meth:`merged_stats` / :meth:`stats_snapshots`.
 
 ``kill_fpga`` is the availability experiment's hammer: it detaches the
 board's MAC (frames to it drop on the floor) and reports a fault on
 every occupied tile, which reaches the front-end through the same
 ``on_fault`` hook intra-FPGA recovery uses — shards fail over to their
-surviving replicas.
+surviving replicas.  On windowed backends the kill lands at the current
+window barrier, identically in sequential and parallel runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import List, Optional
 
+from repro.cluster.backend import BACKENDS, ClusterBackend
 from repro.cluster.directory import ServiceDirectory
 from repro.cluster.frontend import FrontEnd
-from repro.errors import ConfigError, TileFault
+from repro.errors import ConfigError
 from repro.kernel.config import SystemConfig
 from repro.kernel.system import ApiarySystem
 from repro.net.frame import EthernetFabric
 from repro.obs.index import SpanIndex
 from repro.obs.span import SpanRecorder
-from repro.sim import Engine
+from repro.sim import Engine, StatsRegistry
 
 __all__ = ["Cluster"]
 
@@ -52,26 +61,27 @@ class Cluster:
         engine: Optional[Engine] = None,
         fabric: Optional[EthernetFabric] = None,
         fabric_latency: int = 500,
+        backend: str = "shared",
+        swallow_orphan_errors: bool = False,
     ):
         if n_fpgas < 1:
             raise ConfigError(f"need >= 1 FPGA, got {n_fpgas}")
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {backend!r}; pick one of "
+                f"{sorted(BACKENDS)}"
+            )
         base = config if config is not None else SystemConfig.figure1()
         self.base_config = base
-        self.engine = engine if engine is not None else Engine()
-        self.fabric = fabric if fabric is not None else EthernetFabric(
-            self.engine, latency_cycles=fabric_latency)
-        self.spans = SpanRecorder()
-        self.systems: List[ApiarySystem] = []
-        for i in range(n_fpgas):
-            cfg = replace(
-                base,
-                seed=base.seed + i,
-                net=replace(base.net, mac_addr=f"fpga{i}"),
-            )
-            self.systems.append(ApiarySystem(
-                engine=self.engine, fabric=self.fabric,
-                config=cfg, spans=self.spans,
-            ))
+        self.backend_name = backend
+        self._backend: ClusterBackend = BACKENDS[backend]()
+        # build() populates engine/fabric/spans/systems on self
+        self.engine: Engine
+        self.fabric: EthernetFabric
+        self.spans: SpanRecorder
+        self.systems: List[ApiarySystem]
+        self._backend.build(self, n_fpgas, engine, fabric, fabric_latency,
+                            swallow_orphan_errors)
         self.directory = ServiceDirectory(self)
         self.frontend: Optional[FrontEnd] = None
         self.replication = None
@@ -82,15 +92,28 @@ class Cluster:
     def n_fpgas(self) -> int:
         return len(self.systems)
 
+    @property
+    def now(self) -> int:
+        """The cluster clock (on windowed backends: the host partition's,
+        which every board partition matches at each barrier)."""
+        return self.engine.now
+
     def macs(self) -> List[str]:
         return [s.config.net.mac_addr for s in self.systems]
+
+    def _require_dynamic_placement(self, what: str) -> None:
+        if not self._backend.supports_dynamic_placement:
+            raise ConfigError(
+                f"{what} moves instances at simulated runtime, which only "
+                f"the 'shared' backend supports (got "
+                f"{self.backend_name!r})"
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
     def boot(self, extra_cycles: int = 5000) -> None:
         """Bring every board's OS services up."""
-        for system in self.systems:
-            system.boot(extra_cycles=extra_cycles)
+        self._backend.boot(extra_cycles)
 
     def enable_recovery(self, **kwargs) -> None:
         """Attach an intra-FPGA recovery watchdog to every board.
@@ -98,6 +121,7 @@ class Cluster:
         Cross-FPGA failover stays the front-end's job; recovery handles
         restart-in-place / spare tiles *within* a surviving board.
         """
+        self._backend.check_placement_open("enable_recovery()")
         for system in self.systems:
             system.enable_recovery(**kwargs)
 
@@ -116,6 +140,7 @@ class Cluster:
         """
         from repro.sched import Autoscaler  # avoid a cyclic import
 
+        self._require_dynamic_placement("the autoscaler")
         if self.frontend is None:
             raise ConfigError("start the front-end before the autoscaler")
         scaler = Autoscaler(self, service, **kwargs)
@@ -123,6 +148,7 @@ class Cluster:
         return scaler
 
     def deploy_stateless(self, service, handler_factory, **kwargs):
+        self._backend.check_placement_open("deploy_stateless()")
         started = self.directory.deploy_stateless(service, handler_factory,
                                                   **kwargs)
         if self.frontend is not None:
@@ -130,6 +156,7 @@ class Cluster:
         return started
 
     def deploy_sharded(self, service, handler_factory, **kwargs):
+        self._backend.check_placement_open("deploy_sharded()")
         started = self.directory.deploy_sharded(service, handler_factory,
                                                 **kwargs)
         if self.frontend is not None:
@@ -140,6 +167,7 @@ class Cluster:
         """Attach the chain-replication control plane (once)."""
         from repro.replic import ReplicationManager  # avoid a cyclic import
 
+        self._require_dynamic_placement("chain replication")
         if self.replication is not None:
             raise ConfigError("the replication manager is already running")
         self.replication = ReplicationManager(self, **kwargs)
@@ -163,19 +191,61 @@ class Cluster:
         configured = self.replication.manage(service)
         return started, configured
 
+    def seal(self) -> None:
+        """Freeze placement and hand boards to the backend's executors.
+
+        A no-op on the shared backend; on ``parallel`` this is the fork
+        point — deploys and recovery attachment must happen before it.
+        Windowed runs work unsealed too (everything stays in-process),
+        sealing is what unlocks actual parallelism.
+        """
+        self._backend.seal()
+
+    def shutdown(self) -> None:
+        """Release backend resources (parallel workers); idempotent."""
+        self._backend.shutdown()
+
     def run(self, until: Optional[int] = None) -> None:
-        self.engine.run(until=until)
+        self._backend.run(until)
+
+    def run_until(self, events, limit: int = 10_000_000) -> None:
+        """Advance the cluster until every event has triggered.
+
+        The backend-portable way to wait for deploy/start events: on the
+        shared backend this is ``engine.run_until_done(all_of(events))``;
+        windowed backends step whole windows until the events settle (so
+        the clock lands on the next barrier at or after the trigger).
+        """
+        self._backend.run_until(list(events), limit=limit)
+
+    def register_fault_listener(self, listener) -> None:
+        """Subscribe ``listener.on_board_fault(fpga, node, action,
+        endpoint)`` to every board's fault stream — synchronously on the
+        shared backend, at the window barrier on windowed ones."""
+        self._backend.register_fault_listener(listener)
 
     # -- observability -----------------------------------------------------
 
     def enable_tracing(self) -> SpanRecorder:
-        """One switch for the whole cluster (shared recorder)."""
-        self.spans.enable()
+        """One switch for the whole cluster (every partition's recorder)."""
+        self._backend.enable_tracing()
         return self.spans
+
+    def merged_spans(self) -> SpanRecorder:
+        """Every partition's spans in one recorder (deterministic order)."""
+        return self._backend.merged_spans()
+
+    def merged_stats(self) -> StatsRegistry:
+        """All boards' registries folded into one cluster roll-up."""
+        return self._backend.merged_stats()
+
+    def stats_snapshots(self) -> dict:
+        """Per-board ``snapshot()`` dicts, keyed ``fpga0`` .. ``fpgaN-1``."""
+        return self._backend.stats_snapshots()
 
     def span_index(self) -> SpanIndex:
         """Cross-FPGA causal index — every board plus the front-end."""
-        return SpanIndex(self.spans)
+        return SpanIndex(self.merged_spans())
 
     # -- fault injection ---------------------------------------------------
 
@@ -187,19 +257,10 @@ class Cluster:
         organic fault.  The board's recovery watchdog (if any) is stopped
         first: there is no board left to restart tiles on.
         """
-        system = self.systems[index]
-        mac = system.config.net.mac_addr
         if index in self.killed:
             return
         self.killed.append(index)
-        if system.recovery is not None:
-            system.recovery.stop()
-        self.fabric.detach(mac)
-        err = TileFault(f"board {mac} lost power")
-        err.occurred_at = self.engine.now
-        for tile in system.tiles:
-            if not tile.failed:
-                system.fault_manager.report(tile, "main", err)
+        self._backend.kill_board(index)
 
     def partition_fpga(self, index: int) -> None:
         """Cut a board off the Ethernet fabric — both directions.
@@ -213,7 +274,7 @@ class Cluster:
         if index in self.partitioned or index in self.killed:
             return
         self.partitioned.append(index)
-        self.fabric.partition(self.systems[index].config.net.mac_addr)
+        self._backend.partition_board(index)
 
     def heal_fpga(self, index: int) -> None:
         """Reconnect a partitioned board.
@@ -226,13 +287,14 @@ class Cluster:
         if index not in self.partitioned:
             return
         self.partitioned.remove(index)
-        self.fabric.heal(self.systems[index].config.net.mac_addr)
+        self._backend.heal_board(index)
         if self.replication is not None:
             self.replication.notify_heal()
 
     def describe(self) -> str:
         lines = [f"Apiary cluster: {self.n_fpgas} FPGA(s), "
-                 f"{len(self.directory.services)} service(s)"]
+                 f"{len(self.directory.services)} service(s), "
+                 f"backend={self.backend_name}"]
         for i, system in enumerate(self.systems):
             status = "KILLED" if i in self.killed else "up"
             insts = self.directory.instances_on(i)

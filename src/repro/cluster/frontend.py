@@ -144,8 +144,7 @@ class FrontEnd:
         self.stats = StatsRegistry()
 
         self.fabric.attach(mac, self._rx_frame)
-        for fpga, system in enumerate(cluster.systems):
-            system.fault_manager.on_fault.append(self._fault_hook(fpga))
+        cluster.register_fault_listener(self)
         self.track_all()
 
     # -- instance tracking -------------------------------------------------
@@ -189,13 +188,15 @@ class FrontEnd:
         if kick is not None and not kick.triggered:
             kick.succeed(None)
 
-    def _fault_hook(self, fpga: int):
-        def on_fault(tile, record) -> None:
-            if record.action != "drained":
-                return  # a killed context leaves the instance serving
-            for inst in self.directory.instances_on(fpga, node=tile.node):
-                self._fail_instance(inst.iid, f"{tile.endpoint} drained")
-        return on_fault
+    def on_board_fault(self, fpga: int, node: int, action: str,
+                       endpoint: str) -> None:
+        """Board fault stream, delivered through the cluster backend —
+        synchronously on the shared engine, at the window barrier on
+        windowed backends (at most one window late, never early)."""
+        if action != "drained":
+            return  # a killed context leaves the instance serving
+        for inst in self.directory.instances_on(fpga, node=node):
+            self._fail_instance(inst.iid, f"{endpoint} drained")
 
     def _fail_instance(self, iid: str, why: str) -> None:
         """Kernel said this instance is gone: fail its pending work now."""

@@ -11,15 +11,29 @@ two calls with the same arguments produce identical stats dicts.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.kernel.config import SystemConfig
+from repro.obs.span import SpanRecorder
 from repro.policy import RetryPolicy
-from repro.sim import Engine, Histogram
+from repro.sim import Histogram
 from repro.workloads.client import ClusterClient
 
-__all__ = ["scaling_smoke", "availability_smoke"]
+__all__ = ["scaling_smoke", "availability_smoke", "span_dump"]
+
+
+def span_dump(spans: SpanRecorder) -> List[tuple]:
+    """Flatten a recorder to comparable tuples (the identity-check shape).
+
+    Detail dicts are rendered through ``repr`` of their sorted items so
+    any picklable payload compares deterministically.
+    """
+    return [
+        (rec.trace_id, rec.span_id, rec.parent_id, rec.name, rec.category,
+         rec.source, rec.start, rec.end, repr(sorted(rec.detail.items())))
+        for rec in spans
+    ]
 
 
 def _echo_handler_factory(work_cycles: int):
@@ -55,18 +69,26 @@ def _kv_handler_factory(work_cycles: int):
     return make
 
 
-def _build(n_fpgas: int, seed: int,
-           swallow_orphan_errors: bool = False) -> Cluster:
+def _build(n_fpgas: int, seed: int, swallow_orphan_errors: bool = False,
+           backend: str = "shared") -> Cluster:
     config = SystemConfig.figure1()
     if seed:
         from dataclasses import replace
         config = replace(config, seed=seed)
     # fault-injection runs swallow orphan errors and observe faults
     # through the Apiary fault path (the Engine's documented contract)
-    engine = Engine(swallow_orphan_errors=swallow_orphan_errors)
-    cluster = Cluster(n_fpgas=n_fpgas, config=config, engine=engine)
+    cluster = Cluster(n_fpgas=n_fpgas, config=config, backend=backend,
+                      swallow_orphan_errors=swallow_orphan_errors)
     cluster.boot()
     return cluster
+
+
+def _identity_payload(cluster: Cluster) -> Dict[str, Any]:
+    """What the determinism checks compare between backends."""
+    return {
+        "spans": span_dump(cluster.merged_spans()),
+        "stats": cluster.stats_snapshots(),
+    }
 
 
 def scaling_smoke(
@@ -79,14 +101,20 @@ def scaling_smoke(
     instances_per_fpga: int = 2,
     max_pending: int = 256,
     trace: bool = False,
+    backend: str = "shared",
+    identity: bool = False,
 ) -> Dict[str, Any]:
     """Closed-loop echo workload against ``n_fpgas`` boards.
 
     Returns aggregate throughput (requests per kilocycle), latency
     percentiles, and front-end counters.  Throughput should scale with
     ``n_fpgas`` while the backends are the bottleneck — the S1 claim.
+
+    ``backend`` selects the cluster execution backend; ``identity=True``
+    attaches the span/stats payload the PDES determinism checks compare
+    between the sequential oracle and the parallel worker pool.
     """
-    cluster = _build(n_fpgas, seed)
+    cluster = _build(n_fpgas, seed, backend=backend)
     if trace:
         cluster.enable_tracing()
     started = cluster.deploy_stateless(
@@ -94,8 +122,7 @@ def scaling_smoke(
         instances=instances_per_fpga * n_fpgas)
     # partial reconfiguration is hundreds of kilocycles per bitstream;
     # measure serving, not deployment
-    cluster.engine.run_until_done(cluster.engine.all_of(started),
-                                  limit=50_000_000)
+    cluster.run_until(started, limit=50_000_000)
     # a saturated (not dead) backend answers after its queue drains; the
     # per-attempt timeout must sit above worst-case queueing delay or
     # health tracking mistakes overload for death
@@ -107,6 +134,7 @@ def scaling_smoke(
     frontend = cluster.start_frontend(max_pending=max_pending,
                                       retry=patient)
     cluster.run(until=cluster.engine.now + 5_000)
+    cluster.seal()  # parallel backend forks its board workers here
 
     hosts = []
     start = cluster.engine.now
@@ -145,6 +173,9 @@ def scaling_smoke(
             "failovers": frontend.failovers,
         },
     }
+    if identity:
+        stats["identity"] = _identity_payload(cluster)
+    cluster.shutdown()
     return stats
 
 
@@ -158,22 +189,30 @@ def availability_smoke(
     kill_index: Optional[int] = 1,
     kill_after: int = 150_000,
     post_kill: int = 400_000,
+    trace: bool = False,
+    backend: str = "shared",
+    identity: bool = False,
 ) -> Dict[str, Any]:
     """Sharded kvstore + mid-run board kill; measures service continuity.
 
     Phase 1 writes ``keys`` keys (replicated per shard), phase 2 reads
     them back continuously; at ``kill_after`` one board dies.  The stat
     that matters: ``post_kill_hit_rate`` — reads answered correctly from
-    surviving replicas after the kill.
+    surviving replicas after the kill.  On windowed backends the kill
+    lands at a window barrier, identically for ``sequential`` and
+    ``parallel`` — the chaos arm of the PDES determinism contract.
     """
-    cluster = _build(n_fpgas, seed, swallow_orphan_errors=True)
+    cluster = _build(n_fpgas, seed, swallow_orphan_errors=True,
+                     backend=backend)
+    if trace:
+        cluster.enable_tracing()
     started = cluster.deploy_sharded("kv", _kv_handler_factory(work_cycles),
                                      n_shards=n_shards,
                                      replication=replication)
-    cluster.engine.run_until_done(cluster.engine.all_of(started),
-                                  limit=50_000_000)
+    cluster.run_until(started, limit=50_000_000)
     cluster.start_frontend(max_pending=256)
     cluster.run(until=cluster.engine.now + 5_000)
+    cluster.seal()
 
     host = ClusterClient(cluster.engine, cluster.fabric, "host0")
     key_names = [f"key{i}" for i in range(keys)]
@@ -182,7 +221,7 @@ def availability_smoke(
     done_writes = cluster.engine.process(
         host.closed_loop_service("kv", writes, timeout=200_000),
         name="host0.writes")
-    cluster.engine.run_until_done(done_writes.done, limit=5_000_000)
+    cluster.run_until([done_writes.done], limit=5_000_000)
     writes_ok = host.ok
 
     # continuous read phase, kill mid-way through
@@ -233,4 +272,7 @@ def availability_smoke(
         "failovers": cluster.frontend.failovers,
         "health": cluster.frontend.health_table(),
     }
+    if identity:
+        stats["identity"] = _identity_payload(cluster)
+    cluster.shutdown()
     return stats

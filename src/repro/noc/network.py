@@ -350,11 +350,27 @@ class Network:
             arrive = partial(dst_router.accept_flit, in_port)
 
             def deliver(flit: Flit, _key=(src, port), _arrive=arrive) -> None:
-                delay = self.hop_latency + self._link_extra(_key)
-                arrival = max(self.engine.now + delay,
-                              self._link_last_arrival.get(_key, 0))
-                self._link_last_arrival[_key] = arrival
-                self.engine.schedule(arrival - self.engine.now, _arrive, flit)
+                last = self._link_last_arrival
+                if self._link_slow or last:
+                    # a link is (or recently was) degraded: honour per-link
+                    # FIFO monotonicity across the latency change
+                    hop = self.hop_latency
+                    delay = hop + self._link_extra(_key)
+                    arrival = max(self.engine.now + delay,
+                                  last.get(_key, 0))
+                    if delay == hop and arrival == self.engine.now + hop:
+                        # constraint no longer binding (healthy link, queue
+                        # drained): retire the entry so the whole fabric
+                        # returns to the bookkeeping-free path below
+                        last.pop(_key, None)
+                    else:
+                        last[_key] = arrival
+                    self.engine.schedule(arrival - self.engine.now,
+                                         _arrive, flit)
+                else:
+                    # healthy fabric: constant hop latency keeps per-link
+                    # arrivals monotone by construction — no dict traffic
+                    self.engine.schedule(self.hop_latency, _arrive, flit)
 
             credit = partial(src_router.credit_arrived, port)
 

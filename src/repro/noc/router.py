@@ -148,6 +148,14 @@ class Router:
         ]
         self._cand_cache: Dict[int, List[Port]] = {}
         self._escape_cache: Dict[int, List[Port]] = {}
+        #: flattened (in_port, vc, arbiter_slot, input VC) scan order — the
+        #: allocation pass walks this single prebuilt list instead of
+        #: re-resolving two dicts and an enumerate per port per cycle
+        self._scan: List[Tuple[Port, int, int, InputVC]] = [
+            (p, vc, self._port_base[p] + vc, ivc)
+            for p in self.ports
+            for vc, ivc in enumerate(self._in[p])
+        ]
 
         self._wake = engine.event(f"{self.name}.wake")
         self._awake = False
@@ -268,28 +276,34 @@ class Router:
         if self._adaptive:
             return self._allocation_pass_rescan()
         buckets: Dict[Port, List[Tuple[int, Port, int, int]]] = {}
-        for in_port in self.ports:
-            base = self._port_base[in_port]
-            for vc, ivc in enumerate(self._in[in_port]):
-                if not ivc.buffer:
+        outs = self._out
+        for in_port, vc, slot, ivc in self._scan:
+            buffer = ivc.buffer
+            if not buffer:
+                continue
+            port_choice = ivc.out_port
+            if port_choice is None:
+                # an unrouted VC only requests when a head flit is at the
+                # front (body flits behind a reset route wait for it)
+                flit = buffer[0]
+                if not flit.is_head:
                     continue
-                flit = ivc.buffer[0]
-                if flit.is_head and ivc.out_port is None:
-                    choice = self._route_and_allocate(in_port, vc, flit)
-                    if choice is None:
-                        continue
-                    port_choice, out_vc = choice
-                else:
-                    port_choice = ivc.out_port
-                    out_vc = ivc.out_vc
-                    if port_choice is None or out_vc is None:
-                        continue
-                    if self._out[port_choice].credits[out_vc] <= 0:
-                        continue
-                bucket = buckets.get(port_choice)
-                if bucket is None:
-                    bucket = buckets[port_choice] = []
-                bucket.append((base + vc, in_port, vc, out_vc))
+                choice = self._route_and_allocate(in_port, vc, flit)
+                if choice is None:
+                    continue
+                port_choice, out_vc = choice
+            else:
+                out_vc = ivc.out_vc
+                if out_vc is None:
+                    continue
+                if outs[port_choice].credits[out_vc] <= 0:
+                    continue
+            bucket = buckets.get(port_choice)
+            if bucket is None:
+                bucket = buckets[port_choice] = []
+            bucket.append((slot, in_port, vc, out_vc))
+        if not buckets:
+            return 0
         moved = 0
         used_inputs: set = set()
         for out_port in self.ports:

@@ -73,12 +73,18 @@ class SpanRecorder:
     obs-overhead floor).
     """
 
-    def __init__(self):
+    def __init__(self, id_base: int = 0):
         self._enabled = False
         self._records: List[SpanRecord] = []
         self._open: Dict[int, SpanRecord] = {}
-        self._next_trace = 0
-        self._next_span = 0
+        #: first id minus one; windowed cluster backends give each board's
+        #: recorder a disjoint base (partition * 10^9) so trace/span ids
+        #: allocated independently per partition never collide and the
+        #: merged record set is identical however many processes produced
+        #: it.  The default base 0 reproduces the shared-recorder ids.
+        self.id_base = id_base
+        self._next_trace = id_base
+        self._next_span = id_base
 
     @property
     def enabled(self) -> bool:
@@ -93,6 +99,18 @@ class SpanRecorder:
     def clear(self) -> None:
         self._records.clear()
         self._open.clear()
+
+    def absorb(self, other: "SpanRecorder") -> None:
+        """Append another recorder's records (cluster span merge).
+
+        Record identity is untouched — with disjoint ``id_base`` values the
+        id spaces cannot collide — and per-recorder emission order is
+        preserved, so absorbing per-partition recorders in partition order
+        yields a deterministic merged record list whichever backend
+        (in-process or worker pool) produced them.
+        """
+        self._records.extend(other._records)
+        self._open.update(other._open)
 
     # -- emission --------------------------------------------------------
 

@@ -490,6 +490,44 @@ class Engine:
         finally:
             self._running = False
 
+    def peek_next(self) -> Optional[int]:
+        """The cycle of the earliest pending callback, or ``None`` if idle.
+
+        Same-cycle ring entries are "due now", so a non-empty ring reports
+        :attr:`now`; otherwise the heap's earliest timestamp.  Used by the
+        windowed cluster backends to detect quiescent partitions, and
+        useful standalone for bounded stepping loops.
+        """
+        if self._ring:
+            return self.now
+        if self._queue:
+            return self._queue[0][0]
+        return None
+
+    def run_window(self, until_cycle: int) -> None:
+        """Execute every event *strictly before* ``until_cycle``, then park
+        the clock exactly at ``until_cycle``.
+
+        The bounded entry point of conservative parallel simulation: a
+        partition granted the window ``[now, until_cycle)`` processes all
+        its events in that half-open interval and stops on the window
+        barrier, ready for cross-partition traffic stamped at or after
+        ``until_cycle`` to be injected.  Events scheduled *at*
+        ``until_cycle`` stay queued for the next window, so back-to-back
+        ``run_window`` calls partition the timeline with no gap and no
+        double execution.  A window to the current cycle is a no-op.
+        """
+        if until_cycle < self.now:
+            raise SimulationError(
+                f"window end {until_cycle} is before cycle {self.now}"
+            )
+        if until_cycle > self.now:
+            # run() is inclusive of its bound, so stop one cycle short ...
+            self.run(until=until_cycle - 1)
+            # ... and park on the barrier (run() already advanced the clock
+            # to until_cycle - 1 even if the queue drained early)
+            self.now = until_cycle
+
     def run_until_done(self, event: Event, limit: int = 10_000_000) -> Any:
         """Run until ``event`` triggers; raise if ``limit`` cycles pass first.
 

@@ -158,6 +158,23 @@ class TimeWeighted:
         """When the signal last changed (snapshot's default end time)."""
         return self._last_time
 
+    def merge_from(self, other: "TimeWeighted") -> None:
+        """Fold a sibling signal in, treating the two as parallel series.
+
+        Integrals and current values add, so ``average(now)`` of the merged
+        signal is the *sum* of the constituents' averages — the right
+        semantics for per-board queue depths and utilizations rolled up to
+        a cluster view.  Exact only when both series cover the same time
+        span (true for lockstep window-synchronized boards); with skewed
+        spans the later ``last_time`` wins and the earlier signal's final
+        value is extrapolated, which :class:`StatsRegistry.merge`
+        documents as the approximation it is.
+        """
+        self._weighted_sum += other._weighted_sum
+        self._value += other._value
+        self._start_time = min(self._start_time, other._start_time)
+        self._last_time = max(self._last_time, other._last_time)
+
 
 class StatsRegistry:
     """A named bag of stats objects, one per component instance.
@@ -203,21 +220,77 @@ class StatsRegistry:
         values become ``None`` (JSON ``null``) instead.  ``now`` is the end
         time for time-weighted averages; when omitted, each stat averages
         up to its own last update.
+
+        Keys are emitted in sorted order, *not* registration order:
+        registration order depends on which component touched the registry
+        first, which differs between a shared-engine run and a windowed
+        per-board run (and between boards), while the sorted snapshot of a
+        merged registry is byte-stable however its inputs interleaved.
         """
         out: Dict[str, Dict] = {"counters": {}, "gauges": {},
                                 "histograms": {}, "time_weighted": {}}
-        for name, counter in self.counters.items():
-            out["counters"][name] = float(counter.value)
-        for name, gauge in self.gauges.items():
-            out["gauges"][name] = _json_safe(gauge.value)
-        for name, histogram in self.histograms.items():
+        for name in sorted(self.counters):
+            out["counters"][name] = float(self.counters[name].value)
+        for name in sorted(self.gauges):
+            out["gauges"][name] = _json_safe(self.gauges[name].value)
+        for name in sorted(self.histograms):
             out["histograms"][name] = {
-                k: _json_safe(v) for k, v in histogram.summary().items()
+                k: _json_safe(v)
+                for k, v in self.histograms[name].summary().items()
             }
-        for name, tw in self.time_weighted_stats.items():
+        for name in sorted(self.time_weighted_stats):
+            tw = self.time_weighted_stats[name]
             end = now if now is not None else tw.last_time
             out["time_weighted"][name] = _json_safe(tw.average(end))
         return out
+
+    def merge(self, other: "StatsRegistry") -> None:
+        """Fold another registry into this one, name by name.
+
+        The cluster roll-up operation for windowed/parallel runs, where
+        each board owns a private registry and the same metric name (say
+        ``noc.packets_injected``) exists on every board.  Merge semantics
+        per type:
+
+        * **counters** add — event counts across boards are a sum;
+        * **histograms** concatenate raw samples — exact, since samples
+          are stored unaggregated (percentiles of the merged histogram are
+          the true cluster-wide percentiles);
+        * **gauges** add values, with min/max taken across the union —
+          matching the "sum of parallel signals" reading (aggregate queue
+          depth, total free tiles).  For gauges where a sum is
+          meaningless (a ratio, a temperature) read the per-board
+          registries instead;
+        * **time-weighted** signals add integrals (see
+          :meth:`TimeWeighted.merge_from`) — exact for lockstep boards
+          that cover the same time span.
+
+        Merging the same disjoint registries in any order produces the
+        same snapshot (addition commutes and :meth:`snapshot` sorts keys),
+        which is what makes parallel-run telemetry byte-stable: the
+        round-trip test pins ``snapshot(merge(a, b)) == snapshot(merge(b,
+        a))`` and the sequential-run equivalent.
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other.gauges.items():
+            if name not in self.gauges:
+                mine = self.gauge(name, initial=gauge.value)
+                mine.min_seen = gauge.min_seen
+                mine.max_seen = gauge.max_seen
+            else:
+                mine = self.gauges[name]
+                mine.value += gauge.value
+                mine.min_seen = min(mine.min_seen, gauge.min_seen)
+                mine.max_seen = max(mine.max_seen, gauge.max_seen)
+        for name, histogram in other.histograms.items():
+            self.histogram(name).merge(histogram)
+        for name, tw in other.time_weighted_stats.items():
+            if name not in self.time_weighted_stats:
+                mine = self.time_weighted(name, initial=0.0,
+                                          start_time=tw._start_time)
+                mine._last_time = tw._start_time
+            self.time_weighted_stats[name].merge_from(tw)
 
 
 def _json_safe(value: float) -> Optional[float]:

@@ -489,3 +489,92 @@ def test_interrupt_during_timer_wait_does_not_double_resume():
     eng.process(interrupter())
     eng.run()
     assert log == [("interrupted", 4), ("resumed", 24)]
+
+
+# -- windowed execution (PDES building blocks) -------------------------------
+
+
+def test_peek_next_empty_engine():
+    eng = Engine()
+    assert eng.peek_next() is None
+
+
+def test_peek_next_reports_heap_head():
+    eng = Engine()
+    eng.schedule(7, lambda _: None)
+    eng.schedule(3, lambda _: None)
+    assert eng.peek_next() == 3
+
+
+def test_peek_next_reports_now_for_same_cycle_work():
+    eng = Engine()
+    eng.run(until=5)
+    eng.schedule(0, lambda _: None)
+    eng.schedule(9, lambda _: None)
+    # a zero-delay callback is due this cycle, so "next" is now
+    assert eng.peek_next() == 5
+
+
+def test_run_window_executes_strictly_before_barrier():
+    eng = Engine()
+    fired = []
+    for delay in (0, 3, 9, 10, 11):
+        eng.schedule(delay, lambda _, d=delay: fired.append(d))
+    eng.run_window(10)
+    # events at the barrier cycle itself stay queued for the next window
+    assert fired == [0, 3, 9]
+    assert eng.now == 10
+    assert eng.peek_next() == 10
+
+
+def test_run_window_parks_clock_on_empty_queue():
+    eng = Engine()
+    eng.run_window(500)
+    assert eng.now == 500
+    assert eng.peek_next() is None
+
+
+def test_run_windows_tile_with_no_gap_or_double_execution():
+    eng = Engine()
+    fired = []
+    for delay in range(0, 30):
+        eng.schedule(delay, lambda _, d=delay: fired.append(d))
+    for barrier in (10, 20, 30, 31):
+        eng.run_window(barrier)
+    assert fired == list(range(30))
+    assert eng.now == 31
+
+
+def test_run_window_to_current_cycle_is_noop():
+    eng = Engine()
+    eng.run(until=8)
+    fired = []
+    eng.schedule(0, lambda _: fired.append("x"))
+    eng.run_window(8)
+    assert not fired
+    assert eng.now == 8
+
+
+def test_run_window_rejects_past_barrier():
+    eng = Engine()
+    eng.run(until=10)
+    with pytest.raises(SimulationError):
+        eng.run_window(9)
+
+
+def test_run_window_preserves_cross_window_process_state():
+    eng = Engine()
+    log = []
+
+    def worker():
+        for i in range(4):
+            yield 6
+            log.append((i, eng.now))
+
+    eng.process(worker())
+    eng.run_window(10)
+    assert log == [(0, 6)]
+    eng.run_window(20)
+    assert log == [(0, 6), (1, 12), (2, 18)]
+    eng.run_window(30)
+    assert log == [(0, 6), (1, 12), (2, 18), (3, 24)]

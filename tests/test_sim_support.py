@@ -331,3 +331,80 @@ class TestTracerFormatLimit:
         t.emit(2, "monitor.deny", "t1")
         out = t.format(category="monitor.")
         assert "monitor.deny" in out and "noc.inject" not in out
+
+
+class TestRegistryMerge:
+    """Merge-safe snapshots: the cluster roll-up contract for PDES runs."""
+
+    @staticmethod
+    def _board(seed: int) -> StatsRegistry:
+        reg = StatsRegistry()
+        reg.counter("noc.packets_injected").inc(100 + seed)
+        reg.counter(f"board{seed}.only").inc(7)
+        g = reg.gauge("mgmt.free_tiles", initial=float(10 + seed))
+        g.add(-seed)
+        reg.histogram("noc.packet_latency").record_many(
+            [seed, seed + 10, seed + 20])
+        tw = reg.time_weighted("noc.queue_depth")
+        tw.update(50, 2.0 + seed)
+        tw.update(100, 0.0)
+        return reg
+
+    def test_counters_add(self):
+        merged = StatsRegistry()
+        merged.merge(self._board(1))
+        merged.merge(self._board(2))
+        assert merged.counters["noc.packets_injected"].value == 203
+        assert merged.counters["board1.only"].value == 7
+        assert merged.counters["board2.only"].value == 7
+
+    def test_histograms_concatenate_exactly(self):
+        merged = StatsRegistry()
+        merged.merge(self._board(1))
+        merged.merge(self._board(2))
+        assert sorted(merged.histograms["noc.packet_latency"].samples) == \
+            [1, 2, 11, 12, 21, 22]
+
+    def test_gauges_sum_with_minmax_union(self):
+        merged = StatsRegistry()
+        merged.merge(self._board(1))
+        merged.merge(self._board(2))
+        g = merged.gauges["mgmt.free_tiles"]
+        assert g.value == 10 + 10  # (11-1) + (12-2)
+        # extremes are the union across boards, not a sum
+        assert g.max_seen == 12
+        assert g.min_seen == 10
+
+    def test_time_weighted_integrals_add(self):
+        merged = StatsRegistry()
+        merged.merge(self._board(1))
+        merged.merge(self._board(2))
+        tw = merged.time_weighted_stats["noc.queue_depth"]
+        # each board: 50 cycles at (2+seed), then 0 -> integral 150/200
+        assert tw.average(100) == pytest.approx((150 + 200) / 100)
+
+    def test_merge_round_trips_commutatively(self):
+        """snapshot(merge(a, b)) == snapshot(merge(b, a)) — byte-stable
+        telemetry however board registries arrive at the roll-up."""
+        ab = StatsRegistry()
+        ab.merge(self._board(1))
+        ab.merge(self._board(2))
+        ba = StatsRegistry()
+        ba.merge(self._board(2))
+        ba.merge(self._board(1))
+        snap_ab, snap_ba = ab.snapshot(), ba.snapshot()
+        assert snap_ab == snap_ba
+        # histogram percentile summaries hide sample order; pin raw samples
+        assert sorted(ab.histograms["noc.packet_latency"].samples) == \
+            sorted(ba.histograms["noc.packet_latency"].samples)
+
+    def test_merge_into_empty_equals_source_snapshot(self):
+        merged = StatsRegistry()
+        merged.merge(self._board(3))
+        assert merged.snapshot() == self._board(3).snapshot()
+
+    def test_snapshot_keys_sorted_not_registration_order(self):
+        reg = StatsRegistry()
+        reg.counter("zebra").inc()
+        reg.counter("aardvark").inc()
+        assert list(reg.snapshot()["counters"]) == ["aardvark", "zebra"]
