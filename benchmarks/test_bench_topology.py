@@ -46,8 +46,8 @@ def run_topology(topo_cls, routing_cls):
         engine.process(receiver(node))
     while done["received"] < total and engine.pending_events():
         engine.run(until=engine.now + 10_000)
-    lat = net.stats.histogram("noc.packet_latency")
-    hops = net.stats.histogram("noc.packet_hops")
+    lat = net.stats.sketch("noc.packet_latency")
+    hops = net.stats.sketch("noc.packet_hops")
     mean_distance = np.mean([
         topo.hop_distance(a, b)
         for a in topo.nodes() for b in topo.nodes()

@@ -89,6 +89,14 @@ def _board_kill(system: ApiarySystem, fabric: EthernetFabric) -> None:
     if system.recovery is not None:
         system.recovery.stop()
     fabric.detach(mac)
+    # the black-box moment: freeze the flight ring with the pre-kill
+    # history before the per-tile fault storm overwrites it.  The explicit
+    # dump carries the "board-kill" reason; the per-fault hook dumps that
+    # follow in the same cycle coalesce into it (see FlightRecorder.dump).
+    if system.flight is not None:
+        system.flight.record_event(system.engine.now, "kill", mac,
+                                   "board lost power")
+        system.flight.dump(system.engine.now, f"board-kill:{mac}")
     err = TileFault(f"board {mac} lost power")
     err.occurred_at = system.engine.now
     for tile in system.tiles:
@@ -139,7 +147,8 @@ def _worker_main(conn, system: ApiarySystem, fabric: PartitionFabric,
                     fabric.heal(args[0])
                     conn.send(("ok", None))
                 elif name == "collect":
-                    conn.send(("ok", (system.spans, system.stats)))
+                    conn.send(("ok", (system.spans, system.stats,
+                                      system.flight)))
                 else:
                     conn.send(("err", f"unknown board op {name!r}"))
             except BaseException:
@@ -228,6 +237,15 @@ class ClusterBackend:
     def enable_tracing(self) -> None:
         raise NotImplementedError
 
+    def enable_flight_recorders(self, capacity: int = 256,
+                                dump_dir: Optional[str] = None) -> None:
+        """Attach one always-on flight recorder per board.
+
+        On windowed backends this must happen before ``seal()`` so forked
+        workers inherit the recorders and their fault hooks.
+        """
+        raise NotImplementedError
+
     def merged_spans(self) -> SpanRecorder:
         raise NotImplementedError
 
@@ -235,6 +253,15 @@ class ClusterBackend:
         raise NotImplementedError
 
     def stats_snapshots(self) -> Dict[str, Dict]:
+        raise NotImplementedError
+
+    def flight_reports(self) -> Dict[str, Optional[Dict]]:
+        """Per-board flight snapshot + retained dumps (None if disabled).
+
+        On the parallel backend this collects each board's recorder from
+        its worker, so the returned state is byte-identical to what the
+        sequential oracle accumulates in-process.
+        """
         raise NotImplementedError
 
 
@@ -292,6 +319,15 @@ class SharedEngineBackend(ClusterBackend):
     def enable_tracing(self):
         self.cluster.spans.enable()
 
+    def enable_flight_recorders(self, capacity=256, dump_dir=None):
+        # all boards share one span recorder here, so each board's ring
+        # sees cluster-wide spans (events stay board-local); the windowed
+        # backends give each ring a board-local span view
+        for i, system in enumerate(self.cluster.systems):
+            system.enable_flight_recorder(board=f"fpga{i}",
+                                          capacity=capacity,
+                                          dump_dir=dump_dir)
+
     def merged_spans(self):
         return self.cluster.spans
 
@@ -303,6 +339,11 @@ class SharedEngineBackend(ClusterBackend):
 
     def stats_snapshots(self):
         return {f"fpga{i}": system.stats.snapshot()
+                for i, system in enumerate(self.cluster.systems)}
+
+    def flight_reports(self):
+        return {f"fpga{i}": (system.flight.report()
+                             if system.flight is not None else None)
                 for i, system in enumerate(self.cluster.systems)}
 
 
@@ -555,9 +596,20 @@ class SequentialBackend(ClusterBackend):
         for spans in self.board_spans:
             spans.enable()
 
-    def _collect_board(self, index) -> Tuple[SpanRecorder, StatsRegistry]:
+    def enable_flight_recorders(self, capacity=256, dump_dir=None):
+        # must run pre-seal: the parallel backend's workers fork with the
+        # recorders (and their fault hooks) already attached, which is how
+        # worker-side rings stay byte-identical to the oracle's
+        self.check_placement_open("enable_flight_recorders()")
+        for i, system in enumerate(self.cluster.systems):
+            system.enable_flight_recorder(board=f"fpga{i}",
+                                          capacity=capacity,
+                                          dump_dir=dump_dir)
+
+    def _collect_board(self, index) -> Tuple[SpanRecorder, StatsRegistry,
+                                             Optional[Any]]:
         system = self.cluster.systems[index]
-        return system.spans, system.stats
+        return system.spans, system.stats, system.flight
 
     def merged_spans(self):
         merged = SpanRecorder(id_base=0)
@@ -575,6 +627,13 @@ class SequentialBackend(ClusterBackend):
     def stats_snapshots(self):
         return {f"fpga{i}": self._collect_board(i)[1].snapshot()
                 for i in range(len(self.cluster.systems))}
+
+    def flight_reports(self):
+        out = {}
+        for i in range(len(self.cluster.systems)):
+            flight = self._collect_board(i)[2]
+            out[f"fpga{i}"] = flight.report() if flight is not None else None
+        return out
 
 
 class ParallelBackend(SequentialBackend):

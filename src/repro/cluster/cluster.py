@@ -85,6 +85,7 @@ class Cluster:
         self.directory = ServiceDirectory(self)
         self.frontend: Optional[FrontEnd] = None
         self.replication = None
+        self.slo = None
         self.killed: List[int] = []
         self.partitioned: List[int] = []
 
@@ -231,6 +232,34 @@ class Cluster:
         self._backend.enable_tracing()
         return self.spans
 
+    def enable_flight_recorders(self, capacity: int = 256,
+                                dump_dir: Optional[str] = None) -> None:
+        """Attach one always-on flight recorder per board.
+
+        Each board rings its most recent spans and operational events and
+        dumps a validated JSON document on fault or kill (to ``dump_dir``
+        when given).  On windowed backends call before :meth:`seal` —
+        forked workers must inherit the recorders.
+        """
+        self._backend.enable_flight_recorders(capacity=capacity,
+                                              dump_dir=dump_dir)
+
+    def enable_slo(self, targets=(), bucket_cycles: int = 10_000):
+        """Attach an :class:`~repro.obs.slo.SLOEngine` to the cluster.
+
+        The front-end feeds it every admission rejection and completion;
+        the autoscaler can scale on its burn signal (pass ``slo=`` to
+        :meth:`start_autoscaler`).  Returns the engine; add further
+        targets later via ``cluster.slo.add_target``.
+        """
+        from repro.obs.slo import SLOEngine
+
+        if self.slo is None:
+            self.slo = SLOEngine(bucket_cycles=bucket_cycles)
+        for target in targets:
+            self.slo.add_target(target)
+        return self.slo
+
     def merged_spans(self) -> SpanRecorder:
         """Every partition's spans in one recorder (deterministic order)."""
         return self._backend.merged_spans()
@@ -242,6 +271,11 @@ class Cluster:
     def stats_snapshots(self) -> dict:
         """Per-board ``snapshot()`` dicts, keyed ``fpga0`` .. ``fpgaN-1``."""
         return self._backend.stats_snapshots()
+
+    def flight_reports(self) -> dict:
+        """Per-board flight snapshots + dumps, keyed ``fpga0``..``fpgaN-1``
+        (``None`` for boards without a recorder)."""
+        return self._backend.flight_reports()
 
     def span_index(self) -> SpanIndex:
         """Cross-FPGA causal index — every board plus the front-end."""

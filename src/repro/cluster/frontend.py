@@ -299,6 +299,8 @@ class FrontEnd:
             return
         if self.inflight >= self.max_pending:
             self.requests_rejected += 1
+            self._observe_slo(req["service"], None, False,
+                              req.get("tenant"))
             self._reply(client_mac, rid,
                         {"ok": False, "rejected": True})
             return
@@ -307,13 +309,28 @@ class FrontEnd:
         self.engine.process(self._serve(client_mac, rid, req),
                             name=f"fe.serve.{rid}")
 
+    def _observe_slo(self, service: str, latency: Optional[int],
+                     ok: bool, tenant: Optional[str]) -> None:
+        """Feed the cluster's SLO engine, if one is enabled.
+
+        A rejected admission observes ``latency=None`` — it consumed no
+        budgeted latency but it *is* a bad event against goodput.
+        """
+        slo = getattr(self.cluster, "slo", None)
+        if slo is not None:
+            slo.observe(service, latency, ok, self.engine.now,
+                        tenant=tenant)
+
     def _serve(self, client_mac: str, rid: int, req: Dict[str, Any]):
         service = req["service"]
+        tenant = req.get("tenant")
+        start = self.engine.now
         try:
             spec = self.directory.spec(service)
         except ConfigError as err:
             self.inflight -= 1
             self.requests_failed += 1
+            self._observe_slo(service, None, False, tenant)
             self._reply(client_mac, rid, {"ok": False, "error": str(err)})
             return
         key = req.get("key")
@@ -321,6 +338,7 @@ class FrontEnd:
         if spec.chained and key is None:
             self.inflight -= 1
             self.requests_failed += 1
+            self._observe_slo(service, None, False, tenant)
             self._reply(client_mac, rid, {
                 "ok": False,
                 "error": f"chained service {service!r} requires a key"})
@@ -364,6 +382,8 @@ class FrontEnd:
             self._reply(client_mac, rid, {"ok": True, "body": out_body})
         finally:
             self.inflight -= 1
+            self._observe_slo(service, self.engine.now - start,
+                              not failed, tenant)
             if root:
                 self.spans.close(root, self.engine.now, failed=failed)
 

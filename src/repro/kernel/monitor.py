@@ -127,6 +127,15 @@ class Monitor:
             start_time=self.engine.now,
         )
 
+    @property
+    def egress_backlog(self) -> int:
+        """Messages queued for transmission but not yet on the wire.
+
+        The public read for telemetry/heartbeats; samplers observe the
+        monitor without touching its internal channel.
+        """
+        return len(self._egress_queue)
+
     def telemetry(self) -> Dict[str, float]:
         """One tile's live traffic/health snapshot for the operator plane.
 
@@ -157,7 +166,7 @@ class Monitor:
         return {
             "alive": float(not self.drained),
             "drained": float(self.drained),
-            "egress_backlog": float(len(self._egress_queue)),
+            "egress_backlog": float(self.egress_backlog),
             "time": float(self.engine.now),
         }
 

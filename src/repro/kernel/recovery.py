@@ -112,8 +112,14 @@ class RecoveryManager:
         self.recoveries: List[RecoveryEvent] = []
         self._recovering: set = set()
         self._stopped = False
+        #: optional flight recorder fed every completed recovery
+        self.flight: Optional[Any] = None
         fault_manager.on_fault.append(self._on_fault)
         engine.process(self._watchdog(), name="recovery.watchdog")
+
+    def attach_flight(self, flight: Any) -> None:
+        """Ring completed recoveries into a board flight recorder."""
+        self.flight = flight
 
     # -- deployment registry ------------------------------------------------
 
@@ -319,5 +325,9 @@ class RecoveryManager:
                               from_node=old_node, to_node=new_node,
                               mttr=mttr, kind=kind)
         self.recoveries.append(event)
+        if self.flight is not None:
+            self.flight.record_event(
+                self.engine.now, f"recovery.{kind}", dep.endpoint,
+                f"node{old_node}->node{new_node} mttr={mttr}")
         self.tracer.emit(self.engine.now, f"recovery.{kind}", dep.endpoint,
                          src=old_node, dst=new_node, mttr=mttr)

@@ -233,6 +233,7 @@ class ApiarySystem:
         self.recovery: Optional[RecoveryManager] = None
         self.sampler: Optional[TelemetrySampler] = None
         self.scheduler = None
+        self.flight: Optional["FlightRecorder"] = None
 
     # -- observability -----------------------------------------------------------
 
@@ -264,6 +265,38 @@ class ApiarySystem:
         self.mgmt.attach_sampler(self.sampler)
         return self.sampler
 
+    def enable_flight_recorder(self, board: Optional[str] = None,
+                               capacity: int = 256,
+                               dump_dir: Optional[str] = None
+                               ) -> "FlightRecorder":
+        """Attach an always-on flight recorder to this system.
+
+        Rings the most recent closed spans (when tracing is enabled) and
+        operational events — fault reports, chaos injections, recovery
+        actions — and dumps a validated JSON document automatically when
+        a fault fires (see :mod:`repro.obs.flight`).  Idempotent per
+        system; a cluster enables one per board.
+        """
+        if self.flight is not None:
+            return self.flight
+        from repro.obs.flight import FlightRecorder
+        self.flight = FlightRecorder(
+            board=board if board is not None else "board0",
+            capacity=capacity, dump_dir=dump_dir)
+        self.spans.attach_flight(self.flight)
+        flight = self.flight
+
+        def _on_fault(tile, record) -> None:
+            flight.record_event(self.engine.now, "fault", record.tile,
+                                f"{record.action}:{record.error}")
+            flight.dump(self.engine.now,
+                        f"fault:{record.tile}:{record.action}")
+
+        self.fault_manager.on_fault.append(_on_fault)
+        if self.recovery is not None:
+            self.recovery.attach_flight(flight)
+        return self.flight
+
     def span_index(self) -> SpanIndex:
         """A :class:`SpanIndex` over everything recorded so far."""
         return SpanIndex(self.spans)
@@ -292,6 +325,8 @@ class ApiarySystem:
             prefer_spare=prefer_spare, max_restarts=max_restarts,
             stats=self.stats, tracer=self.tracer,
         )
+        if self.flight is not None:
+            self.recovery.attach_flight(self.flight)
         return self.recovery
 
     def enable_scheduler(self, **kwargs):

@@ -313,8 +313,11 @@ class Network:
         self._ctr_injected = self.stats.counter("noc.packets_injected")
         self._ctr_delivered = self.stats.counter("noc.packets_delivered")
         self._ctr_dropped = self.stats.counter("noc.packets_dropped")
-        self._hist_latency = self.stats.histogram("noc.packet_latency")
-        self._hist_hops = self.stats.histogram("noc.packet_hops")
+        # quantile sketches, not exact histograms: the NoC records a
+        # latency per delivered packet for the lifetime of the run, so
+        # exact-sample storage is unbounded on long serving runs
+        self._hist_latency = self.stats.sketch("noc.packet_latency")
+        self._hist_hops = self.stats.sketch("noc.packet_hops")
         self._next_pid = 0
         # fault injection: (src, port) -> (extra hop latency, expires at).
         # _link_last_arrival keeps per-link delivery monotone so a window

@@ -215,6 +215,16 @@ class Router:
     def occupancy(self) -> int:
         return self._buffered
 
+    @property
+    def buffered_flits(self) -> int:
+        """Flits currently held in this router's input VC buffers.
+
+        The public read for telemetry/reporting; same value as
+        :meth:`occupancy`, exposed as a property so samplers observe the
+        router without reaching into its counters.
+        """
+        return self.occupancy()
+
     def allowed_vcs(self, vc_class: int) -> List[int]:
         """VC indices a traffic class may use (classes partition the VCs).
 

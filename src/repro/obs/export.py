@@ -23,7 +23,7 @@ from repro.obs.span import SpanRecorder
 from repro.obs.telemetry import TelemetrySampler
 
 __all__ = ["chrome_trace", "export_chrome_trace", "validate_chrome_trace",
-           "run_report"]
+           "run_report", "run_report_json"]
 
 #: Phases this exporter produces (subset of the Chrome trace-event spec).
 _PHASES = {"X", "M", "C", "I"}
@@ -141,8 +141,10 @@ def validate_chrome_trace(doc: Dict[str, Any]) -> int:
 def run_report(index: SpanIndex,
                sampler: Optional[TelemetrySampler] = None,
                stats: Optional[Any] = None,
-               max_traces: int = 5) -> str:
-    """Plain-text run report: per-request trees + stage totals + heatmap."""
+               max_traces: int = 5,
+               slo: Optional[Any] = None,
+               now: Optional[int] = None) -> str:
+    """Plain-text run report: trees + stage totals + heatmap + SLOs."""
     lines: List[str] = ["=== Apiary observability report ==="]
     complete = index.complete_traces()
     lines.append(f"traces: {len(index.trace_ids())} total, "
@@ -169,7 +171,7 @@ def run_report(index: SpanIndex,
             lines.append(f"  {stage:<18} {cyc:>10} cyc  {cyc / grand:6.1%}")
     if sampler is not None and sampler.samples_taken:
         lines.append(f"\n-- NoC utilization heatmap (flits/cycle, last "
-                     f"sample at {sampler._last_sample_at}) --")
+                     f"sample at {sampler.last_sample_at}) --")
         lines.append(sampler.heatmap_text())
     if stats is not None:
         snap = stats.snapshot()
@@ -178,4 +180,53 @@ def run_report(index: SpanIndex,
             lines.append("\n-- counters --")
             for name in sorted(counters):
                 lines.append(f"  {name:<32} {counters[name]:>12.0f}")
+    if slo is not None:
+        end = now if now is not None else (
+            sampler.last_sample_at if sampler is not None else 0)
+        lines.append("\n-- SLO verdicts --")
+        lines.append(slo.report_text(end))
     return "\n".join(lines)
+
+
+def run_report_json(index: SpanIndex,
+                    sampler: Optional[TelemetrySampler] = None,
+                    stats: Optional[Any] = None,
+                    max_traces: int = 5,
+                    slo: Optional[Any] = None,
+                    now: Optional[int] = None) -> Dict[str, Any]:
+    """Machine-readable twin of :func:`run_report` for CI artifacts.
+
+    Same information, JSON-shaped: per-trace latency and stage breakdowns
+    (first ``max_traces`` complete traces), aggregate stage totals, the
+    latest heatmap grid, counters, and — when an SLO engine is supplied —
+    its full verdict/alert report.  ``json.dumps(..., sort_keys=True)``
+    of this document is byte-stable for identical runs, which is how the
+    O1 identity harness compares backends.
+    """
+    complete = index.complete_traces()
+    traces = []
+    for tid in complete[:max_traces]:
+        traces.append({
+            "trace_id": tid,
+            "latency": index.latency(tid),
+            "stages": dict(sorted(index.stage_breakdown(tid).items())),
+        })
+    doc: Dict[str, Any] = {
+        "traces_total": len(index.trace_ids()),
+        "traces_complete": len(complete),
+        "traces": traces,
+        "aggregate_stages": dict(sorted(index.aggregate_stages().items())),
+    }
+    if sampler is not None:
+        doc["telemetry"] = {
+            "samples_taken": sampler.samples_taken,
+            "last_sample_at": sampler.last_sample_at,
+            "noc_heatmap": sampler.noc_heatmap(),
+        }
+    if stats is not None:
+        doc["stats"] = stats.snapshot()
+    if slo is not None:
+        end = now if now is not None else (
+            sampler.last_sample_at if sampler is not None else 0)
+        doc["slo"] = slo.report(end)
+    return doc

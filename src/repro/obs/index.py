@@ -120,12 +120,16 @@ class SpanIndex:
             depth_of(rec.span_id)
         return depths
 
-    def segments(self, trace_id: int) -> List[Tuple[int, int, str]]:
-        """Partition the root interval into ``(start, end, stage)`` pieces.
+    def segment_owners(self, trace_id: int
+                       ) -> List[Tuple[int, int, Optional[SpanRecord]]]:
+        """Partition the root interval into ``(start, end, owner)`` pieces.
 
         The innermost (deepest; ties: latest-started) closed span active at
-        each point owns it; uncovered time is :data:`QUEUE_STAGE`.  The
-        pieces tile ``[root.start, root.end]`` exactly.
+        each point owns it; uncovered time has owner ``None`` (queueing).
+        The pieces tile ``[root.start, root.end]`` exactly.  This is the
+        raw form :class:`~repro.obs.profile.CycleProfiler` consumes — it
+        needs the owning *record* (for ancestry and source), not just the
+        stage name :meth:`segments` reduces it to.
         """
         root = self.root(trace_id)
         if root is None or not root.closed:
@@ -147,16 +151,29 @@ class SpanIndex:
             cuts.add(start)
             cuts.add(end)
         points = sorted(cuts)
-        segments: List[Tuple[int, int, str]] = []
+        pieces: List[Tuple[int, int, Optional[SpanRecord]]] = []
         for a, b in zip(points, points[1:]):
             active = [rec for start, end, rec in spans
                       if start <= a and end >= b]
-            if active:
-                winner = max(active, key=lambda r: (depths[r.span_id],
-                                                    r.start, r.span_id))
-                stage = winner.name
+            winner = max(active, key=lambda r: (depths[r.span_id],
+                                                r.start, r.span_id)) \
+                if active else None
+            if pieces and pieces[-1][2] is winner:
+                pieces[-1] = (pieces[-1][0], b, winner)
             else:
-                stage = QUEUE_STAGE
+                pieces.append((a, b, winner))
+        return pieces
+
+    def segments(self, trace_id: int) -> List[Tuple[int, int, str]]:
+        """Partition the root interval into ``(start, end, stage)`` pieces.
+
+        The innermost (deepest; ties: latest-started) closed span active at
+        each point owns it; uncovered time is :data:`QUEUE_STAGE`.  The
+        pieces tile ``[root.start, root.end]`` exactly.
+        """
+        segments: List[Tuple[int, int, str]] = []
+        for a, b, owner in self.segment_owners(trace_id):
+            stage = owner.name if owner is not None else QUEUE_STAGE
             if segments and segments[-1][2] == stage:
                 segments[-1] = (segments[-1][0], b, stage)
             else:

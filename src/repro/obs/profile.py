@@ -1,0 +1,138 @@
+"""Cycle-accounting profiler: where did the simulated cycles go?
+
+FASE's argument (PAPERS.md) is that cycle-accurate *attribution* — not
+just end-to-end numbers — is what makes a performance model trustworthy.
+:class:`CycleProfiler` walks every complete trace in a
+:class:`~repro.obs.span.SpanRecorder` and charges each cycle of each
+request to the innermost span active at that instant (the same
+innermost-wins sweep :meth:`SpanIndex.stage_breakdown
+<repro.obs.index.SpanIndex.stage_breakdown>` uses, via
+:meth:`~repro.obs.index.SpanIndex.segment_owners`), labelling the full
+ancestor chain so the output is a *stack*, not a flat bucket:
+
+    ``frontend:kv;dispatch;kv/0:execute 5120``
+
+That is Brendan Gregg's folded-stack format — one line per unique stack,
+semicolon-joined frames, space, cycle count — which ``flamegraph.pl`` and
+every modern flamegraph viewer (speedscope, Firefox Profiler) consume
+directly.  Frames are ``source:name`` (component-qualified stage, the
+component being the engine-process/span source that emitted the span), so
+the x-axis answers "which component, doing what"; cycles covered by no
+instrumented span appear as the ``queueing`` frame rather than vanishing —
+attribution is a partition, the flamegraph totals equal the sum of request
+latencies.
+
+Aggregation is integer addition over sorted keys: two profilers built
+from byte-identical span sets render byte-identical output, and the
+cluster roll-up (profile of merged spans) is deterministic like the rest
+of the plane.
+
+Must stay import-free of ``repro.sim`` (imported from the stats side).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.index import QUEUE_STAGE, SpanIndex
+from repro.obs.span import SpanRecord, SpanRecorder
+
+__all__ = ["CycleProfiler"]
+
+
+def _frame(rec: SpanRecord) -> str:
+    """``source:name`` component-qualified frame label (no ';' allowed)."""
+    label = f"{rec.source}:{rec.name}" if rec.source else rec.name
+    return label.replace(";", ",")
+
+
+class CycleProfiler:
+    """Folded-stack cycle attribution over every complete trace."""
+
+    def __init__(self, spans: Union[SpanIndex, SpanRecorder,
+                                    Iterable[SpanRecord]]):
+        self.index = spans if isinstance(spans, SpanIndex) \
+            else SpanIndex(spans)
+        self._folded: Dict[Tuple[str, ...], int] = {}
+        self._traces = 0
+        self._total_cycles = 0
+        self._build()
+
+    def _build(self) -> None:
+        for tid in sorted(self.index.complete_traces()):
+            records = {rec.span_id: rec for rec in self.index.records(tid)}
+            root = self.index.root(tid)
+            root_frame = _frame(root)
+            self._traces += 1
+            for start, end, owner in self.index.segment_owners(tid):
+                cycles = end - start
+                self._total_cycles += cycles
+                if owner is None:
+                    stack = (root_frame, QUEUE_STAGE)
+                else:
+                    # ancestor chain root -> owner, one frame per span
+                    chain: List[SpanRecord] = []
+                    rec: Optional[SpanRecord] = owner
+                    while rec is not None and rec is not root:
+                        chain.append(rec)
+                        rec = records.get(rec.parent_id)
+                    chain.append(root)
+                    stack = tuple(_frame(r) for r in reversed(chain))
+                self._folded[stack] = self._folded.get(stack, 0) + cycles
+
+    # -- flamegraph output ----------------------------------------------
+
+    @property
+    def traces(self) -> int:
+        return self._traces
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of all attributed cycles == sum of complete-trace latencies."""
+        return self._total_cycles
+
+    def folded(self) -> Dict[str, int]:
+        """``"frame;frame;frame" -> cycles`` in sorted-stack order."""
+        return {";".join(stack): cycles
+                for stack, cycles in sorted(self._folded.items())}
+
+    def folded_lines(self) -> List[str]:
+        """The folded-stack file body, one ``stack count`` line per stack."""
+        return [f"{stack} {cycles}" for stack, cycles in
+                self.folded().items()]
+
+    def write_folded(self, path: str) -> int:
+        """Write the folded file; feed to flamegraph.pl / speedscope.
+
+        Returns the number of stack lines written.
+        """
+        lines = self.folded_lines()
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+        return len(lines)
+
+    # -- top-N table ------------------------------------------------------
+
+    def top(self, n: int = 10) -> List[Tuple[str, int]]:
+        """Hottest frames by *self* cycles (the leaf of each stack).
+
+        Self time is the flamegraph's box width at the leaf — the place
+        the cycles were actually spent, as opposed to inclusive time which
+        double-counts parents.
+        """
+        self_cycles: Dict[str, int] = {}
+        for stack, cycles in self._folded.items():
+            leaf = stack[-1]
+            self_cycles[leaf] = self_cycles.get(leaf, 0) + cycles
+        ranked = sorted(self_cycles.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    def render_top(self, n: int = 10) -> str:
+        """Operator-facing table of the hottest frames."""
+        total = self._total_cycles or 1
+        lines = [f"cycle profile: {self._traces} traces, "
+                 f"{self._total_cycles} cycles attributed",
+                 f"{'frame':<40} {'self cycles':>12} {'share':>7}"]
+        for frame, cycles in self.top(n):
+            lines.append(f"{frame:<40} {cycles:>12} {cycles / total:>6.1%}")
+        return "\n".join(lines)

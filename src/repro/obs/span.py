@@ -85,6 +85,14 @@ class SpanRecorder:
         self.id_base = id_base
         self._next_trace = id_base
         self._next_span = id_base
+        # flight-recorder rings fed every closed span (kept out of the
+        # enabled-guard contract: when tracing is off no spans open, so
+        # close() never runs and sinks cost nothing)
+        self._flight_sinks: List[Any] = []
+
+    def attach_flight(self, sink: Any) -> None:
+        """Feed every subsequently closed span to ``sink.record_span``."""
+        self._flight_sinks.append(sink)
 
     @property
     def enabled(self) -> bool:
@@ -143,6 +151,9 @@ class SpanRecorder:
         record.end = end
         if detail:
             record.detail.update(detail)
+        if self._flight_sinks:
+            for sink in self._flight_sinks:
+                sink.record_span(record)
 
     # -- queries ---------------------------------------------------------
 

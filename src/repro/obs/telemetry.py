@@ -93,14 +93,14 @@ class TelemetrySampler:
                          float(mon.messages_received))
             self._record("denials", node, now, float(mon.denials))
             self._record("egress_backlog", node, now,
-                         float(len(mon._egress_queue)))
+                         float(mon.egress_backlog))
             self._record("inject_backlog", node, now,
                          float(mon.ni.inject_backlog))
         if self.network is not None:
             for node in self.network.topo.nodes():
                 router = self.network.router(node)
                 self._record("buffered_flits", node, now,
-                             float(router._buffered))
+                             float(router.buffered_flits))
             self._sample_heatmap(now)
         if self.dram is not None:
             depth = sum(ch.bus.queue_length for ch in self.dram.channels)
@@ -125,6 +125,11 @@ class TelemetrySampler:
         self._heat = grid
 
     # -- queries ---------------------------------------------------------
+
+    @property
+    def last_sample_at(self) -> int:
+        """Cycle of the most recent sample (construction time before any)."""
+        return self._last_sample_at
 
     def series(self, metric: str, node: int = GLOBAL) -> List[Tuple[int, float]]:
         """The ``(cycle, value)`` ring for one metric/node (empty if none)."""

@@ -60,6 +60,7 @@ class Autoscaler:
         down_after: int = 3,
         drain_window: int = 5_000,
         util_low: Optional[float] = None,
+        slo: Optional[Any] = None,
     ):
         if min_replicas < 1 or max_replicas < min_replicas:
             raise ConfigError(
@@ -84,6 +85,12 @@ class Autoscaler:
         self.down_after = down_after
         self.drain_window = drain_window
         self.util_low = util_low
+        #: optional :class:`~repro.obs.slo.SLOEngine` — when its fast
+        #: window is burning for this service, scale up even if the queue
+        #: signal has not tripped yet (the burn is *user-visible* pain;
+        #: the queue may lag it, e.g. under admission-control rejects,
+        #: which never enter a backend queue at all)
+        self.slo = slo
         #: cycles one replica's partial reconfiguration costs — the price
         #: every scale-up decision pays before capacity materializes
         self.reconfig_cycles = (ClusterPortedService.COST.logic_cells
@@ -165,7 +172,17 @@ class Autoscaler:
                 for _ in range(self.min_replicas - self.replicas()):
                     self._scale_up("below min")
                 continue
-            # 3) scale decisions
+            # 3) SLO burn override: a firing fast-burn alert buys one
+            # replica per tick regardless of the queue signal (rejects
+            # under admission control burn budget without ever queueing)
+            if (self.slo is not None
+                    and self._pending_up == 0
+                    and self.replicas() < self.max_replicas
+                    and self.slo.firing(self.service, self.engine.now)):
+                self._low_ticks = 0
+                self._scale_up("slo_burn")
+                continue
+            # 4) scale decisions
             if per_q > self.high_queue:
                 self._low_ticks = 0
                 if self._pending_up == 0 and self.replicas() < self.max_replicas:

@@ -1,10 +1,12 @@
-"""Measurement primitives: counters, gauges, latency histograms.
+"""Measurement primitives: counters, gauges, latency histograms, sketches.
 
 The evaluation harness reads every number it reports from these objects.
-They are deliberately simple — exact sample storage with numpy percentile
-computation — because our experiment scales (thousands to low millions of
-samples) fit comfortably in memory and exactness beats the complexity of
-streaming sketches at this size.
+Exact-sample :class:`Histogram` remains the default for bench-scale
+distributions (thousands to low millions of samples, where exactness beats
+streaming complexity); hot paths that record for the lifetime of a run
+register a :class:`~repro.obs.sketch.QuantileSketch` via
+:meth:`StatsRegistry.sketch` instead — bounded memory, documented relative
+error, commutative merge.
 """
 
 from __future__ import annotations
@@ -187,6 +189,7 @@ class StatsRegistry:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self.sketches: Dict[str, "QuantileSketch"] = {}
         self.time_weighted_stats: Dict[str, TimeWeighted] = {}
 
     def counter(self, name: str) -> Counter:
@@ -203,6 +206,24 @@ class StatsRegistry:
         if name not in self.histograms:
             self.histograms[name] = Histogram(name)
         return self.histograms[name]
+
+    def sketch(self, name: str, alpha: Optional[float] = None
+               ) -> "QuantileSketch":
+        """A bounded-memory quantile sketch (see :mod:`repro.obs.sketch`).
+
+        Use instead of :meth:`histogram` on paths that record for the
+        lifetime of a long run (``noc.packet_latency`` and friends);
+        quantiles carry the sketch's ``alpha`` relative error while
+        count/mean/min/max stay exact.  Imported lazily — ``repro.obs``
+        imports this module, so a top-level import would be a cycle.
+        """
+        if name not in self.sketches:
+            from repro.obs.sketch import QuantileSketch
+            if alpha is None:
+                self.sketches[name] = QuantileSketch(name)
+            else:
+                self.sketches[name] = QuantileSketch(name, alpha=alpha)
+        return self.sketches[name]
 
     def time_weighted(self, name: str, initial: float = 0.0,
                       start_time: int = 0) -> TimeWeighted:
@@ -228,7 +249,8 @@ class StatsRegistry:
         merged registry is byte-stable however its inputs interleaved.
         """
         out: Dict[str, Dict] = {"counters": {}, "gauges": {},
-                                "histograms": {}, "time_weighted": {}}
+                                "histograms": {}, "sketches": {},
+                                "time_weighted": {}}
         for name in sorted(self.counters):
             out["counters"][name] = float(self.counters[name].value)
         for name in sorted(self.gauges):
@@ -237,6 +259,11 @@ class StatsRegistry:
             out["histograms"][name] = {
                 k: _json_safe(v)
                 for k, v in self.histograms[name].summary().items()
+            }
+        for name in sorted(self.sketches):
+            out["sketches"][name] = {
+                k: _json_safe(v)
+                for k, v in self.sketches[name].summary().items()
             }
         for name in sorted(self.time_weighted_stats):
             tw = self.time_weighted_stats[name]
@@ -256,6 +283,9 @@ class StatsRegistry:
         * **histograms** concatenate raw samples — exact, since samples
           are stored unaggregated (percentiles of the merged histogram are
           the true cluster-wide percentiles);
+        * **sketches** add bucket counts — commutative and associative,
+          so per-board sketches folded in any order equal one sketch that
+          saw every sample (quantiles keep their ``alpha`` bound);
         * **gauges** add values, with min/max taken across the union —
           matching the "sum of parallel signals" reading (aggregate queue
           depth, total free tiles).  For gauges where a sum is
@@ -285,6 +315,8 @@ class StatsRegistry:
                 mine.max_seen = max(mine.max_seen, gauge.max_seen)
         for name, histogram in other.histograms.items():
             self.histogram(name).merge(histogram)
+        for name, sk in other.sketches.items():
+            self.sketch(name, alpha=sk.alpha).merge(sk)
         for name, tw in other.time_weighted_stats.items():
             if name not in self.time_weighted_stats:
                 mine = self.time_weighted(name, initial=0.0,

@@ -207,13 +207,20 @@ class ClusterClient(RemoteClientHost):
     def call_service(self, service: str, body: Any, key: Any = None,
                      write: bool = False, nbytes: int = 64,
                      timeout: Optional[int] = None,
-                     retry: Optional[RetryPolicy] = None) -> Event:
-        """One request by service name; succeeds with the front-end reply."""
+                     retry: Optional[RetryPolicy] = None,
+                     tenant: Optional[str] = None) -> Event:
+        """One request by service name; succeeds with the front-end reply.
+
+        ``tenant`` tags the request for per-tenant SLO accounting at the
+        front-end; it does not affect routing.
+        """
         req = {"service": service, "body": body, "nbytes": nbytes}
         if key is not None:
             req["key"] = key
         if write:
             req["write"] = True
+        if tenant is not None:
+            req["tenant"] = tenant
         return self.request(self.frontend_mac, self.frontend_port, req,
                             nbytes=nbytes, timeout=timeout, retry=retry)
 
@@ -222,7 +229,8 @@ class ClusterClient(RemoteClientHost):
                             gap: int = 0):
         """Process generator: issue ``requests`` one at a time.
 
-        Each entry is ``{"body": ..., "key"?: ..., "write"?: ...}``.
+        Each entry is ``{"body": ..., "key"?: ..., "write"?: ...,
+        "tenant"?: ...}``.
         Records latency for completed requests and tallies
         ``ok/rejected/failed`` — the raw material of the S1 scaling and
         availability numbers.
@@ -235,7 +243,8 @@ class ClusterClient(RemoteClientHost):
                 reply = yield self.call_service(
                     service, req.get("body"), key=req.get("key"),
                     write=bool(req.get("write")),
-                    nbytes=int(req.get("nbytes", 64)), timeout=timeout)
+                    nbytes=int(req.get("nbytes", 64)), timeout=timeout,
+                    tenant=req.get("tenant"))
             except (ConfigError, DeadlineExceeded):
                 self.failed += 1
                 continue

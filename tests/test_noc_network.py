@@ -138,7 +138,7 @@ def test_contention_increases_latency_but_delivers_everything():
     p = eng.process(receiver())
     eng.run_until_done(p.done, limit=2_000_000)
     assert counts["delivered"] == 80
-    lat = net.stats.histogram("noc.packet_latency")
+    lat = net.stats.sketch("noc.packet_latency")
     assert lat.max() > net.zero_load_latency(0, hot, 5)
 
 

@@ -532,3 +532,31 @@ class TestAutoscalerRuns:
         # requests issued after the replacement settled all complete
         assert out["post_recovery_issued"] > 0
         assert out["post_recovery_ok"] == out["post_recovery_issued"]
+
+    def test_slo_burn_forces_scale_up_without_queue_signal(self):
+        """Admission rejects burn error budget but never enter a queue —
+        only the SLO fast-burn signal can see them.  A firing engine must
+        buy a replica even though the queue signal is idle."""
+        from repro.obs.slo import SLOEngine, SLOTarget
+
+        cluster = small_cluster()
+        slo = SLOEngine()
+        slo.add_target(SLOTarget("avail", "kv", objective=0.99))
+        scaler = cluster.start_autoscaler("kv", max_replicas=3, slo=slo)
+        # fabricate a burning fast window ending at the scaler's next tick
+        now = cluster.engine.now
+        for _ in range(20):
+            slo.observe("kv", None, False, now + scaler.interval - 1)
+        assert slo.firing("kv", now + scaler.interval)
+        cluster.run(until=now + 2 * scaler.interval)
+        ups = [e for e in scaler.events if e[1] == "scale_up"]
+        assert ups and ups[0][4] == "slo_burn"
+
+    def test_no_slo_keeps_decision_log_unchanged(self):
+        """slo=None (the default) must not perturb the S2 decision path."""
+        cluster = small_cluster()
+        scaler = cluster.start_autoscaler("kv")
+        assert scaler.slo is None
+        cluster.run(until=cluster.engine.now + 3 * scaler.interval)
+        assert [e[1] for e in scaler.events
+                if e[1] == "scale_up"] == []  # idle queue: no decisions
