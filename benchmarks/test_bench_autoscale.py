@@ -3,7 +3,7 @@
 The scheduler/autoscaler acceptance run.  Three questions:
 
 1. **Convergence** — a stateless KV service sits at one replica when a
-   4x load step hits.  New replicas cost ~480k cycles of partial
+   4x load step hits.  New replicas cost ~810k cycles of partial
    reconfiguration each, so the autoscaler must size the whole deficit
    in one decision.  Requests issued after the last scale-up replica
    comes online (plus a settling margin) must show p99 within 2x of the
@@ -31,7 +31,7 @@ TAIL_RATIO = 2.0
 JSON_PATH = os.path.join(os.path.abspath(RESULTS_DIR), "BENCH_S2.json")
 
 STEP_KWARGS = (
-    dict(phase_a=200_000, phase_b=700_000, phase_c=400_000,
+    dict(phase_a=200_000, phase_b=1_300_000, phase_c=400_000,
          settle_margin=150_000, drain=400_000)
     if REDUCED else {}
 )

@@ -39,7 +39,7 @@ def run_campaign(seed=SEED):
         return consistency_smoke(
             seed=seed, n_keys=4, writes_per_key=12, n_readers=2,
             reads_per_reader=30, kill_at=250_000, partition_at=800_000,
-            heal_at=1_400_000, settle=700_000)
+            heal_at=1_400_000, settle=1_500_000)
     return consistency_smoke(seed=seed)
 
 

@@ -4,13 +4,18 @@
 Scenario 1 — autoscaling: a stateless KV service starts at one replica.
 Open-loop clients quadruple their request rate mid-run; the autoscaler
 watches front-end queue depth, sizes the whole deficit in one decision
-(each replica costs ~480k cycles of partial reconfiguration), and scales
+(each replica costs ~810k cycles of partial reconfiguration), and scales
 back down when the step ends.
 
 Scenario 2 — the tile scheduler: jobs from two tenants with quotas and
 priorities share one FPGA's slots; a high-priority submission preempts
 the youngest low-priority tenant (checkpointing it when the accelerator
 is preemptible) and the victim resumes once capacity frees up.
+
+Scenario 3 — the bitstream cache: the same load step, warm vs cold.
+Cold, the scale-up board has never seen the design and pays a full
+synthesis run before the reconfiguration write; warm, prefetch put the
+artifact on every board ahead of time and scale-up pays the write only.
 
 Run:  python examples/autoscale_demo.py
 """
@@ -19,12 +24,12 @@ from repro.accel import Accelerator, EchoAccel
 from repro.hw.resources import ResourceVector
 from repro.kernel import ApiarySystem, FaultPolicy
 from repro.sched import JobSpec, JobState, TenantQuota
-from repro.sched.smoke import autoscale_smoke
+from repro.sched.smoke import autoscale_smoke, cache_step_smoke
 
 
 def scenario_autoscale():
     print("=== Scenario 1: KV service under a 4x load step ===")
-    out = autoscale_smoke(phase_a=300_000, phase_b=900_000,
+    out = autoscale_smoke(phase_a=300_000, phase_b=1_400_000,
                           phase_c=500_000, settle_margin=200_000,
                           drain=400_000)
     print(f"  {out['completed']} requests completed, "
@@ -117,6 +122,24 @@ def scenario_scheduler():
               f"({tenant}){where}{note}")
 
 
+def scenario_cache():
+    print()
+    print("=== Scenario 3: warm vs cold bitstream cache ===")
+    cold = cache_step_smoke(warm=False, phase_a=300_000)
+    warm = cache_step_smoke(warm=True, phase_a=300_000)
+    print(f"  cold scale-up ready: {cold['ready_latency']:>9,} cycles "
+          "(synthesis + reconfiguration write)")
+    print(f"  warm scale-up ready: {warm['ready_latency']:>9,} cycles "
+          "(reconfiguration write only)")
+    ratio = cold["ready_latency"] / warm["ready_latency"]
+    print(f"  -> the prefetched artifact makes scale-up "
+          f"{ratio:.1f}x faster")
+    board = warm["cache"]["fpga1"]
+    print(f"  scale-up board cache: hit rate {board['hit_rate']:.2f}, "
+          f"prefetch accuracy {board['prefetch_accuracy']:.2f}")
+
+
 if __name__ == "__main__":
     scenario_autoscale()
     scenario_scheduler()
+    scenario_cache()

@@ -39,6 +39,10 @@ class Accelerator:
     PRIMITIVES: Dict[str, int] = {"lut_logic": 40_000, "bram": 64}
     #: declared worst-case switching activity
     TOGGLE_RATE = 0.25
+    #: design-family identity for bitstream content-addressing; ``None``
+    #: means "this class" — every instance of one accelerator class is
+    #: the same synthesized design, so replicas share a compiled artifact
+    FAMILY: Optional[str] = None
     #: whether per-context state can be externalized (Section 4.4)
     preemptible = False
 
@@ -52,6 +56,11 @@ class Accelerator:
 
     # -- identity / packaging ---------------------------------------------------
 
+    @classmethod
+    def design_family(cls) -> str:
+        """The content-addressing identity shared by all instances."""
+        return cls.FAMILY if cls.FAMILY is not None else cls.__name__
+
     def bitstream(self, signed_by: Optional[str] = None) -> Bitstream:
         return Bitstream.build(
             name=self.name,
@@ -59,6 +68,24 @@ class Accelerator:
             primitives=dict(self.PRIMITIVES),
             max_toggle_rate=self.TOGGLE_RATE,
             signed_by=signed_by,
+            family=self.design_family(),
+        )
+
+    @classmethod
+    def family_bitstream(cls, signed_by: Optional[str] = None) -> Bitstream:
+        """The canonical bitstream of this design family (no instance).
+
+        What the cache/prefetch layer hands the compile pipeline when it
+        wants the *design* warm before any particular replica exists —
+        it digests identically to every instance's :meth:`bitstream`.
+        """
+        return Bitstream.build(
+            name=cls.design_family(),
+            cost=cls.COST,
+            primitives=dict(cls.PRIMITIVES),
+            max_toggle_rate=cls.TOGGLE_RATE,
+            signed_by=signed_by,
+            family=cls.design_family(),
         )
 
     # -- execution ----------------------------------------------------------------

@@ -8,7 +8,20 @@ admission-controls, and fails shards over to surviving replicas when a
 board dies.
 """
 
+from repro.cluster.bitcache import (
+    DEFAULT_CACHE_CELLS,
+    BitstreamPlane,
+    BoardBitstreamStore,
+)
 from repro.cluster.cluster import Cluster
+from repro.cluster.config import (
+    CacheConfig,
+    ClusterConfig,
+    ObsConfig,
+    RecoveryConfig,
+    ReplicationConfig,
+    SchedConfig,
+)
 from repro.cluster.directory import (
     HashRing,
     ServiceDirectory,
@@ -21,6 +34,15 @@ from repro.cluster.smoke import availability_smoke, scaling_smoke
 
 __all__ = [
     "Cluster",
+    "ClusterConfig",
+    "RecoveryConfig",
+    "ObsConfig",
+    "SchedConfig",
+    "ReplicationConfig",
+    "CacheConfig",
+    "BitstreamPlane",
+    "BoardBitstreamStore",
+    "DEFAULT_CACHE_CELLS",
     "ServiceDirectory",
     "ServiceInstance",
     "ServiceSpec",

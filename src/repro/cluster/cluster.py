@@ -37,7 +37,10 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from typing import Union
+
 from repro.cluster.backend import BACKENDS, ClusterBackend
+from repro.cluster.config import ClusterConfig
 from repro.cluster.directory import ServiceDirectory
 from repro.cluster.frontend import FrontEnd
 from repro.errors import ConfigError
@@ -57,13 +60,27 @@ class Cluster:
     def __init__(
         self,
         n_fpgas: int = 2,
-        config: Optional[SystemConfig] = None,
+        config: Optional[Union[SystemConfig, ClusterConfig]] = None,
         engine: Optional[Engine] = None,
         fabric: Optional[EthernetFabric] = None,
         fabric_latency: int = 500,
         backend: str = "shared",
         swallow_orphan_errors: bool = False,
     ):
+        # the config-object path: one ClusterConfig carries everything the
+        # flat kwargs + post-construction enable_* calls used to; its
+        # fields win over the flat kwargs (which stay at their defaults
+        # when a ClusterConfig is given)
+        if isinstance(config, ClusterConfig):
+            self.cluster_config: Optional[ClusterConfig] = config
+            n_fpgas = config.n_fpgas
+            fabric_latency = config.fabric_latency
+            backend = config.backend
+            swallow_orphan_errors = config.swallow_orphan_errors
+            base = config.system
+        else:
+            self.cluster_config = None
+            base = config if config is not None else SystemConfig.figure1()
         if n_fpgas < 1:
             raise ConfigError(f"need >= 1 FPGA, got {n_fpgas}")
         if backend not in BACKENDS:
@@ -71,7 +88,6 @@ class Cluster:
                 f"unknown backend {backend!r}; pick one of "
                 f"{sorted(BACKENDS)}"
             )
-        base = config if config is not None else SystemConfig.figure1()
         self.base_config = base
         self.backend_name = backend
         self._backend: ClusterBackend = BACKENDS[backend]()
@@ -86,8 +102,43 @@ class Cluster:
         self.frontend: Optional[FrontEnd] = None
         self.replication = None
         self.slo = None
+        #: BitstreamPlane once enable_bitstream_cache() ran (or the
+        #: config asked for it); None = legacy direct-load clusters
+        self.bitplane = None
+        self.warm_placement = True
+        self._cache_prefetch = True
         self.killed: List[int] = []
         self.partitioned: List[int] = []
+        if self.cluster_config is not None:
+            self._apply_config(self.cluster_config)
+
+    def _apply_config(self, cfg: ClusterConfig) -> None:
+        """Run the enable_* toggles the config asks for (build-time).
+
+        Order matters only in that the cache comes first (so every
+        subsequent deploy routes through it); ``boot()`` stays the
+        caller's move, as in the flat spelling.
+        """
+        if cfg.cache.enabled:
+            self.enable_bitstream_cache(
+                capacity_cells=cfg.cache.capacity_cells,
+                cycles_per_cell=cfg.cache.synth_cycles_per_cell,
+                prefetch=cfg.cache.prefetch,
+                warm_placement=cfg.cache.warm_placement,
+            )
+        if cfg.recovery.enabled:
+            self.enable_recovery(**cfg.recovery.kwargs())
+        if cfg.obs.tracing:
+            self.enable_tracing()
+        if cfg.obs.flight_recorders:
+            self.enable_flight_recorders(
+                capacity=cfg.obs.flight_capacity,
+                dump_dir=cfg.obs.flight_dump_dir)
+        if cfg.obs.slo_enabled:
+            self.enable_slo(targets=cfg.obs.slo_targets,
+                            bucket_cycles=cfg.obs.slo_bucket_cycles)
+        if cfg.replication.enabled:
+            self.start_replication(**cfg.replication.kwargs())
 
     @property
     def n_fpgas(self) -> int:
@@ -126,6 +177,40 @@ class Cluster:
         for system in self.systems:
             system.enable_recovery(**kwargs)
 
+    def enable_bitstream_cache(
+        self,
+        capacity_cells: Optional[int] = None,
+        cycles_per_cell: Optional[int] = None,
+        prefetch: bool = True,
+        warm_placement: bool = True,
+    ):
+        """Attach the compile-and-cache pipeline to every board (once).
+
+        From this call on, every deploy routes through each board's
+        :class:`~repro.cluster.bitcache.BoardBitstreamStore` — cold
+        designs pay one realistic synthesis run, warm ones reconfigure
+        straight from the content-addressed artifact cache.  Also
+        installs the cluster-level :attr:`bitplane` (prefetch + warm
+        queries), makes the directory prefer warm boards
+        (``warm_placement``), and makes autoscalers started later default
+        to compile-ahead prefetch (``prefetch``).  Returns the plane.
+        """
+        from repro.cluster.bitcache import BitstreamPlane
+
+        self._backend.check_placement_open("enable_bitstream_cache()")
+        if self.bitplane is not None:
+            raise ConfigError("the bitstream cache is already enabled")
+        for i, system in enumerate(self.systems):
+            system.enable_bitstream_cache(
+                capacity_cells=capacity_cells,
+                cycles_per_cell=cycles_per_cell,
+                board=f"fpga{i}",
+            )
+        self.bitplane = BitstreamPlane(self)
+        self.warm_placement = warm_placement
+        self._cache_prefetch = prefetch
+        return self.bitplane
+
     def start_frontend(self, **kwargs) -> FrontEnd:
         """Attach the load-balancing front-end (once)."""
         if self.frontend is not None:
@@ -144,6 +229,17 @@ class Cluster:
         self._require_dynamic_placement("the autoscaler")
         if self.frontend is None:
             raise ConfigError("start the front-end before the autoscaler")
+        if self.cluster_config is not None:
+            # config-object defaults; explicit kwargs win
+            sched = self.cluster_config.sched
+            kwargs = {**sched.autoscaler_kwargs(), **kwargs}
+            if sched.prefetch is not None:
+                kwargs.setdefault("prefetch", sched.prefetch)
+            if self.slo is not None:
+                kwargs.setdefault("slo", self.slo)
+        # cache-aware default: scale-up prefetch follows the cache toggle
+        kwargs.setdefault(
+            "prefetch", self.bitplane is not None and self._cache_prefetch)
         scaler = Autoscaler(self, service, **kwargs)
         scaler.start()
         return scaler

@@ -177,11 +177,15 @@ class ServiceDirectory(Namespace):
         service: str,
         handler_factory: Callable[[], Any],
         instances: int = 2,
+        artifact=None,
     ) -> List[Event]:
         """Place ``instances`` interchangeable copies round-robin.
 
         ``handler_factory()`` builds a fresh handler per instance (state,
-        if any, is per-instance).  Returns the load-started events.
+        if any, is per-instance).  ``artifact`` optionally supplies a
+        pre-compiled :class:`~repro.hw.compile.BitstreamArtifact` for the
+        service shell, skipping the cache/compile path entirely.  Returns
+        the load-started events.
         """
         if service in self.services:
             raise ConfigError(f"service {service!r} already deployed")
@@ -189,24 +193,28 @@ class ServiceDirectory(Namespace):
                            handler_factory=handler_factory)
         started = []
         for idx in range(instances):
-            fpga = self._pick_fpga()
+            fpga = self._pick_fpga(
+                ClusterPortedService.family_bitstream())
             inst = ServiceInstance(service=service, fpga=fpga, node=-1,
                                    port=self._alloc_port(), replica=idx)
-            started.append(self._load(inst, handler_factory()))
+            started.append(self._load(inst, handler_factory(),
+                                      artifact=artifact))
             spec.instances.append(inst)
             self.bind(inst.iid, (inst.fpga, inst.node))
         spec.next_replica = instances
         self.services[service] = spec
         return started
 
-    def add_instance(self, service: str):
+    def add_instance(self, service: str, artifact=None):
         """Scale a stateless service out by one replica.
 
         Places the new instance exactly like :meth:`deploy_stateless`
-        (round-robin FPGA, lowest free tile) and binds it; the caller
-        (normally the autoscaler) re-tracks the front-end so the replica
-        takes traffic once its reconfiguration completes.  Returns
-        ``(instance, load_started_event)``.
+        (round-robin FPGA, lowest free tile; with a bitstream cache
+        enabled, boards whose cache is already warm for the service shell
+        are preferred) and binds it; the caller (normally the autoscaler)
+        re-tracks the front-end so the replica takes traffic once its
+        reconfiguration completes.  Returns ``(instance,
+        load_started_event)``.
         """
         spec = self.spec(service)
         if spec.sharded:
@@ -216,12 +224,13 @@ class ServiceDirectory(Namespace):
             )
         if spec.handler_factory is None:
             raise ConfigError(f"{service!r} kept no handler factory")
-        fpga = self._pick_fpga()
+        fpga = self._pick_fpga(ClusterPortedService.family_bitstream())
         inst = ServiceInstance(service=service, fpga=fpga, node=-1,
                                port=self._alloc_port(),
                                replica=spec.next_replica)
         spec.next_replica += 1
-        started = self._load(inst, spec.handler_factory())
+        started = self._load(inst, spec.handler_factory(),
+                             artifact=artifact)
         spec.instances.append(inst)
         self.bind(inst.iid, (inst.fpga, inst.node))
         return inst, started
@@ -308,6 +317,7 @@ class ServiceDirectory(Namespace):
         n_shards: int = 4,
         replication: int = 3,
         vnodes: int = 64,
+        artifact=None,
     ) -> List[Event]:
         """Shard ``service`` into replication *chains* (zero-data-loss).
 
@@ -347,7 +357,8 @@ class ServiceDirectory(Namespace):
                                        shard=shard, replica=replica)
                 node = ChainNodeService(inst.iid, inst.port,
                                         machine_factory(shard))
-                started.append(self._load_chain(inst, node))
+                started.append(self._load_chain(inst, node,
+                                                artifact=artifact))
                 spec.instances.append(inst)
                 spec.chains[shard].append(inst.iid)
                 self.bind(inst.iid, (inst.fpga, inst.node))
@@ -448,7 +459,8 @@ class ServiceDirectory(Namespace):
                 return inst
         return None
 
-    def _load_chain(self, inst: ServiceInstance, node_service) -> Event:
+    def _load_chain(self, inst: ServiceInstance, node_service,
+                    artifact=None) -> Event:
         """Place one chain member on the lowest free tile of its FPGA.
 
         Unlike :meth:`_load`, faults are *delegated*: restarting a chain
@@ -466,10 +478,12 @@ class ServiceDirectory(Namespace):
         if system.recovery is not None:
             started = system.recovery.deploy(
                 inst.node, lambda n=node_service: n,
-                endpoint=inst.endpoint, delegate="replication")
+                endpoint=inst.endpoint, delegate="replication",
+                artifact=artifact)
         else:
             started = system.mgmt.load(inst.node, node_service,
-                                       endpoint=inst.endpoint)
+                                       endpoint=inst.endpoint,
+                                       artifact=artifact)
 
         def mark_ready(ev, i=inst):
             if not ev.failed:
@@ -478,7 +492,7 @@ class ServiceDirectory(Namespace):
         started.add_callback(mark_ready)
         return started
 
-    def _load(self, inst: ServiceInstance, handler) -> Event:
+    def _load(self, inst: ServiceInstance, handler, artifact=None) -> Event:
         """Place one instance on the lowest free tile of its FPGA."""
         system = self.cluster.systems[inst.fpga]
         free = system.mgmt.free_tiles()
@@ -494,10 +508,12 @@ class ServiceDirectory(Namespace):
         if system.recovery is not None:
             # keep the instance alive intra-FPGA (restart / spare failover)
             started = system.recovery.deploy(inst.node, factory,
-                                             endpoint=inst.endpoint)
+                                             endpoint=inst.endpoint,
+                                             artifact=artifact)
         else:
             started = system.mgmt.load(inst.node, factory(),
-                                       endpoint=inst.endpoint)
+                                       endpoint=inst.endpoint,
+                                       artifact=artifact)
 
         def mark_ready(ev, i=inst):
             if not ev.failed:
@@ -506,10 +522,32 @@ class ServiceDirectory(Namespace):
         started.add_callback(mark_ready)
         return started
 
-    def _pick_fpga(self) -> int:
+    def _pick_fpga(self, bitstream=None) -> int:
+        """Next board for a fresh instance.
+
+        Legacy clusters (no bitstream plane): pure round-robin cursor,
+        byte-identical to every earlier release.  With the compile cache
+        enabled the cursor still advances identically, but the pick
+        skips killed/full boards and — given ``bitstream`` and
+        ``warm_placement`` — prefers boards whose artifact cache is
+        already warm for it (cursor order breaks ties, so placement
+        stays deterministic).
+        """
         fpga = self._next_fpga
         self._next_fpga = (self._next_fpga + 1) % len(self.cluster.systems)
-        return fpga
+        if self.cluster.bitplane is None:
+            return fpga
+        n = len(self.cluster.systems)
+        order = [(fpga + k) % n for k in range(n)]
+        usable = [i for i in order
+                  if i not in self.cluster.killed
+                  and self.cluster.systems[i].mgmt.free_tiles()]
+        if not usable:
+            return fpga
+        if bitstream is not None and self.cluster.warm_placement:
+            from repro.sched.placement import warm_first
+            usable = warm_first(usable, self.cluster, bitstream)
+        return usable[0]
 
     def _alloc_port(self) -> int:
         port = self._next_port

@@ -70,7 +70,7 @@ def _kv_handler_factory(work_cycles: int):
 
 
 def _build(n_fpgas: int, seed: int, swallow_orphan_errors: bool = False,
-           backend: str = "shared") -> Cluster:
+           backend: str = "shared", cache: bool = False) -> Cluster:
     config = SystemConfig.figure1()
     if seed:
         from dataclasses import replace
@@ -79,6 +79,10 @@ def _build(n_fpgas: int, seed: int, swallow_orphan_errors: bool = False,
     # through the Apiary fault path (the Engine's documented contract)
     cluster = Cluster(n_fpgas=n_fpgas, config=config, backend=backend,
                       swallow_orphan_errors=swallow_orphan_errors)
+    if cache:
+        # before boot(), so even the OS-service loads route through the
+        # per-board compile pipeline (a realistic cold boot)
+        cluster.enable_bitstream_cache()
     cluster.boot()
     return cluster
 
@@ -192,6 +196,7 @@ def availability_smoke(
     trace: bool = False,
     backend: str = "shared",
     identity: bool = False,
+    cache: bool = False,
 ) -> Dict[str, Any]:
     """Sharded kvstore + mid-run board kill; measures service continuity.
 
@@ -201,9 +206,12 @@ def availability_smoke(
     surviving replicas after the kill.  On windowed backends the kill
     lands at a window barrier, identically for ``sequential`` and
     ``parallel`` — the chaos arm of the PDES determinism contract.
+    ``cache=True`` routes every load through the per-board bitstream
+    compile-and-cache pipeline, putting its counters/state into the same
+    identity payload — the cache arm of that contract.
     """
     cluster = _build(n_fpgas, seed, swallow_orphan_errors=True,
-                     backend=backend)
+                     backend=backend, cache=cache)
     if trace:
         cluster.enable_tracing()
     started = cluster.deploy_sharded("kv", _kv_handler_factory(work_cycles),

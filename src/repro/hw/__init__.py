@@ -14,9 +14,22 @@ from repro.hw.bitstream import (
     DrcViolation,
 )
 from repro.hw.clock import FABRIC_CLOCK, ClockDomain
+from repro.hw.compile import (
+    SYNTH_CYCLES_PER_CELL,
+    BitstreamArtifact,
+    CompileService,
+    artifact_digest,
+    synthesis_duration,
+)
 from repro.hw.device import BOARDS, PARTS, Board, FpgaPart, board, part, table1_rows
 from repro.hw.device import table1_scaling
-from repro.hw.region import RECONFIG_CYCLES_PER_CELL, ReconfigRegion
+from repro.hw.region import (
+    RECONFIG_CYCLES_PER_BRAM_KB,
+    RECONFIG_CYCLES_PER_CELL,
+    RECONFIG_CYCLES_PER_DSP,
+    ReconfigRegion,
+    reconfig_duration,
+)
 from repro.hw.resources import (
     ResourceBudget,
     ResourceVector,
@@ -45,6 +58,14 @@ __all__ = [
     "FORBIDDEN_PRIMITIVES",
     "ReconfigRegion",
     "RECONFIG_CYCLES_PER_CELL",
+    "RECONFIG_CYCLES_PER_BRAM_KB",
+    "RECONFIG_CYCLES_PER_DSP",
+    "reconfig_duration",
+    "BitstreamArtifact",
+    "CompileService",
+    "artifact_digest",
+    "synthesis_duration",
+    "SYNTH_CYCLES_PER_CELL",
     "ClockDomain",
     "FABRIC_CLOCK",
 ]

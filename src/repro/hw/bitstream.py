@@ -58,6 +58,12 @@ class Bitstream:
     max_toggle_rate: declared worst-case switching activity (0..1) — the
         input to the power-budget rule.
     signed_by: optional build-chain identity for provenance checks.
+    family: the *design* identity, shared by every instance built from the
+        same netlist (e.g. all replicas of one service class).  The compile
+        pipeline content-addresses artifacts by family — two bitstreams
+        with the same family/cost/primitives are the same synthesized
+        design and share one cached artifact, whatever their instance
+        ``name`` says.  ``None`` falls back to ``name`` (a one-off design).
     """
 
     name: str
@@ -65,12 +71,18 @@ class Bitstream:
     primitives: Tuple[Tuple[str, int], ...] = ()
     max_toggle_rate: float = 0.25
     signed_by: Optional[str] = None
+    family: Optional[str] = None
 
     def primitive_count(self, kind: str) -> int:
         for name, count in self.primitives:
             if name == kind:
                 return count
         return 0
+
+    @property
+    def design_family(self) -> str:
+        """The content-addressing identity (``family``, else ``name``)."""
+        return self.family if self.family is not None else self.name
 
     @staticmethod
     def build(
@@ -79,6 +91,7 @@ class Bitstream:
         primitives: Optional[Dict[str, int]] = None,
         max_toggle_rate: float = 0.25,
         signed_by: Optional[str] = None,
+        family: Optional[str] = None,
     ) -> "Bitstream":
         """Validating constructor (dataclass stays frozen/hashable)."""
         prims = primitives or {}
@@ -95,6 +108,7 @@ class Bitstream:
             primitives=tuple(sorted(prims.items())),
             max_toggle_rate=max_toggle_rate,
             signed_by=signed_by,
+            family=family,
         )
 
 

@@ -22,7 +22,13 @@ from repro.hw.bitstream import Bitstream, DesignRuleChecker
 from repro.hw.resources import ResourceVector
 from repro.sim import Engine, Event
 
-__all__ = ["ReconfigRegion", "RECONFIG_CYCLES_PER_CELL"]
+__all__ = [
+    "ReconfigRegion",
+    "RECONFIG_CYCLES_PER_CELL",
+    "RECONFIG_CYCLES_PER_BRAM_KB",
+    "RECONFIG_CYCLES_PER_DSP",
+    "reconfig_duration",
+]
 
 #: Reconfiguration cost in fabric cycles per logic cell.  ICAP moves
 #: ~400 MB/s = ~1.6 B per 250 MHz cycle = ~13 config bits/cycle; at ~100
@@ -30,6 +36,32 @@ __all__ = ["ReconfigRegion", "RECONFIG_CYCLES_PER_CELL"]
 #: loading a 120k-cell accelerator takes ~1M cycles (~4 ms), matching
 #: published partial-reconfiguration times.
 RECONFIG_CYCLES_PER_CELL = 8
+
+#: BRAM configuration frames at the same ~13 config bits/cycle: one KB of
+#: block RAM is 8192 content bits, ~640 cycles through the config port.
+#: Memory-heavy bitstreams honestly pay for their initialization frames
+#: instead of hiding behind the per-cell constant.
+RECONFIG_CYCLES_PER_BRAM_KB = 640
+
+#: A DSP slice carries ~2.6k configuration bits (opmode, pipeline
+#: registers, cascade routing) — ~200 cycles each at 13 bits/cycle.
+RECONFIG_CYCLES_PER_DSP = 200
+
+
+def reconfig_duration(cost: ResourceVector) -> int:
+    """Cycles to stream a partial bitstream of ``cost`` through the
+    config port.  Scales with the *full* resource vector — logic frames,
+    BRAM initialization frames, DSP configuration — so a memory-heavy
+    accelerator pays more than a LUT-only one of equal cell count.  The
+    single source of truth for reconfiguration time: regions, the
+    autoscaler's jump-scaling prediction, and the compile pipeline's
+    warm-path accounting all call this."""
+    return max(
+        1,
+        cost.logic_cells * RECONFIG_CYCLES_PER_CELL
+        + cost.bram_kb * RECONFIG_CYCLES_PER_BRAM_KB
+        + cost.dsp_slices * RECONFIG_CYCLES_PER_DSP,
+    )
 
 
 class ReconfigRegion:
@@ -90,14 +122,21 @@ class ReconfigRegion:
 
     def load_duration(self, bitstream: Bitstream) -> int:
         """Cycles to stream the partial bitstream through the config port."""
-        return max(1, bitstream.cost.logic_cells * RECONFIG_CYCLES_PER_CELL)
+        return reconfig_duration(bitstream.cost)
 
-    def load(self, bitstream: Bitstream) -> Event:
+    def load(self, bitstream: Bitstream, precleared: bool = False) -> Event:
         """Begin loading; the event succeeds when the region is live.
 
         Rejections (DRC, capacity, busy) fail the event with
         :class:`ReconfigError` rather than raising synchronously, because the
         management plane treats them as runtime outcomes, not caller bugs.
+
+        ``precleared=True`` skips the per-load DRC screen: the caller holds
+        a :class:`~repro.hw.compile.BitstreamArtifact` whose design rules
+        were checked once at synthesis time, so re-screening every load of
+        the same artifact would double-count (and double-charge) the check.
+        Capacity and busy checks still apply — they are per-slot, not
+        per-design.
         """
         done = self.engine.event(f"{self.name}.load")
         if self._busy:
@@ -115,7 +154,7 @@ class ReconfigRegion:
                 f"{self.capacity}"
             ))
             return done
-        if self.drc is not None:
+        if self.drc is not None and not precleared:
             try:
                 self.drc.check(bitstream)
             except Exception as err:  # BitstreamRejected

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.cap.capability import CapabilityRef, Rights
 from repro.cap.captable import CapabilityStore
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TileFault
 from repro.kernel.naming import Namespace
 from repro.kernel.tile import Tile
 from repro.obs.span import SpanRecorder
@@ -60,6 +60,10 @@ class MgmtPlane:
         #: optional TelemetrySampler (see attach_sampler); when attached,
         #: telemetry() merges its latest ring-buffer samples per tile
         self.sampler = None
+        #: optional BoardBitstreamStore (see attach_bitstore); when
+        #: attached, load() goes through the compile-and-cache pipeline
+        #: instead of handing raw bitstreams straight to the region
+        self.bitstore = None
 
     # -- naming (the per-tile tables of Section 4.3) ---------------------------
 
@@ -155,12 +159,27 @@ class MgmtPlane:
         signed_by: Optional[str] = None,
         wire_services: bool = True,
         trace: Optional[Tuple[int, int]] = None,
+        artifact=None,
     ) -> Event:
         """Load an accelerator into tile ``node`` and wire default caps.
 
         Registers ``endpoint`` (defaults to the tile's own name) in the name
         table, grants the tile SEND to every OS service, and grants each OS
         service SEND back (for notifications like ``net.rx``).
+
+        This is the single deployment entry point for both input shapes:
+        a raw accelerator (its bitstream is packaged on the fly) or a
+        pre-compiled :class:`~repro.hw.compile.BitstreamArtifact` passed
+        via ``artifact``.  An artifact carries its own provenance and DRC
+        screen, so ``signed_by`` is ignored for the region load when one
+        is given — passing both is the deprecated duplicate-keyword path.
+
+        With a bitstream store attached (:meth:`attach_bitstore`) and no
+        artifact, the load first acquires the artifact from the board's
+        cache — free when warm, a full synthesis run when cold — and the
+        tile stays *reserved* (invisible to :meth:`free_tiles`) while the
+        compile is in flight.  Without a store, the legacy direct path is
+        taken unchanged.
         """
         tile = self.tiles[node]
         _tid, span = self._open_span(
@@ -175,12 +194,61 @@ class MgmtPlane:
                 self.grant_send(tile.endpoint, svc)
                 svc_tile = self.tiles[self.namespace.lookup(svc)]
                 self.grant_send(svc_tile.endpoint, tile.endpoint)
-        started = tile.start(accelerator, signed_by=signed_by)
+        if artifact is None and self.bitstore is None:
+            started = tile.start(accelerator, signed_by=signed_by)
+        else:
+            started = self._start_from_artifact(
+                tile, accelerator, signed_by, artifact)
         self.stats.counter("mgmt.loads").inc()
         if span:
             started.add_callback(
                 lambda ev: self.spans.close(span, self.engine.now,
                                             failed=ev.failed))
+        return started
+
+    def _start_from_artifact(self, tile, accelerator, signed_by,
+                             artifact) -> Event:
+        """The compile-pipeline load path: acquire artifact, then start.
+
+        The tile is reserved for the whole acquire+start window so
+        placement never double-assigns a slot whose region is still idle
+        only because its bitstream is mid-synthesis.
+        """
+        started = self.engine.event(f"{tile.endpoint}.load")
+        tile.reserved = True
+
+        def finish(ev: Event) -> None:
+            tile.reserved = False
+            if ev.failed:
+                started.fail(ev.value)
+            else:
+                started.succeed(ev.value)
+
+        def begin(art) -> None:
+            if tile.failed:
+                # the board (or this tile) died while the bitstream was
+                # in synthesis; the artifact stays cached, the load aborts
+                tile.reserved = False
+                started.fail(TileFault(
+                    f"{tile.endpoint}: tile failed during synthesis"))
+                return
+            tile.start(accelerator, signed_by=signed_by,
+                       artifact=art).add_callback(finish)
+
+        if artifact is not None:
+            begin(artifact)
+        else:
+            acquired = self.bitstore.acquire(
+                accelerator.bitstream(signed_by=signed_by))
+
+            def on_acquired(ev: Event) -> None:
+                if ev.failed:
+                    tile.reserved = False
+                    started.fail(ev.value)
+                    return
+                begin(ev.value)
+
+            acquired.add_callback(on_acquired)
         return started
 
     def load_service(self, node: int, service, endpoint: str) -> Event:
@@ -201,6 +269,14 @@ class MgmtPlane:
         live monitor snapshot.
         """
         self.sampler = sampler
+
+    def attach_bitstore(self, store) -> None:
+        """Attach a :class:`~repro.cluster.bitcache.BoardBitstreamStore`.
+
+        Subsequent :meth:`load` calls route through the compile-and-cache
+        pipeline, and :meth:`telemetry` gains the board's cache gauges.
+        """
+        self.bitstore = store
 
     def telemetry(self) -> List[Dict[str, float]]:
         """Per-tile traffic/health snapshots from every monitor.
@@ -223,6 +299,15 @@ class MgmtPlane:
         if self.sampler is not None:
             for node, snap in enumerate(snaps):
                 snap.update(self.sampler.latest(node))
+        if self.bitstore is not None:
+            # board-level cache gauges, mirrored into every tile snapshot
+            # (the store is per board, tiles share it)
+            cache = self.bitstore.telemetry()
+            for snap in snaps:
+                snap["bitcache_hit_rate"] = cache["hit_rate"]
+                snap["bitcache_prefetch_accuracy"] = \
+                    cache["prefetch_accuracy"]
+                snap["bitcache_synth_backlog"] = cache["synth_backlog"]
         return snaps
 
     def police_rates(self, tx_threshold: float,
@@ -262,7 +347,7 @@ class MgmtPlane:
         return [
             node for node, tile in enumerate(self.tiles)
             if tile.accelerator is None and not tile.region.reconfiguring
-            and not tile.region.occupied
+            and not tile.region.occupied and not tile.reserved
         ]
 
     def teardown(self, node: int, revoke: bool = True,

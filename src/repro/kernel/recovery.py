@@ -125,15 +125,21 @@ class RecoveryManager:
 
     def deploy(self, node: int, factory: Callable[[], Any], endpoint: str,
                signed_by: Optional[str] = None,
-               delegate: Optional[str] = None) -> Event:
-        """Load ``factory()`` on ``node`` and keep it alive at ``endpoint``."""
+               delegate: Optional[str] = None,
+               artifact=None) -> Event:
+        """Load ``factory()`` on ``node`` and keep it alive at ``endpoint``.
+
+        ``artifact`` (a pre-compiled bitstream artifact) applies to this
+        initial load only; restarts after a fault re-acquire from the
+        board's cache — which is warm, the first load populated it.
+        """
         if endpoint in self.deployments:
             raise ConfigError(f"{endpoint!r} is already a managed deployment")
         dep = Deployment(endpoint=endpoint, factory=factory, node=node,
                          signed_by=signed_by, delegate=delegate)
         self.deployments[endpoint] = dep
         return self.mgmt.load(node, factory(), endpoint=endpoint,
-                              signed_by=signed_by)
+                              signed_by=signed_by, artifact=artifact)
 
     def forget(self, endpoint: str) -> None:
         """Stop managing ``endpoint`` (e.g. before an intentional teardown)."""

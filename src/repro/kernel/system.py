@@ -234,6 +234,7 @@ class ApiarySystem:
         self.sampler: Optional[TelemetrySampler] = None
         self.scheduler = None
         self.flight: Optional["FlightRecorder"] = None
+        self.bitstore = None
 
     # -- observability -----------------------------------------------------------
 
@@ -328,6 +329,43 @@ class ApiarySystem:
         if self.flight is not None:
             self.recovery.attach_flight(self.flight)
         return self.recovery
+
+    def enable_bitstream_cache(
+        self,
+        capacity_cells: Optional[int] = None,
+        cycles_per_cell: Optional[int] = None,
+        board: Optional[str] = None,
+    ):
+        """Attach a per-board bitstream compile-and-cache pipeline.
+
+        All subsequent ``mgmt.load`` calls route through the board's
+        :class:`~repro.cluster.bitcache.BoardBitstreamStore`: cold designs
+        pay a realistic synthesis cost once, warm designs reconfigure
+        straight from the content-addressed artifact cache.  The store
+        reuses this system's DRC (screening moves to compile time, once
+        per artifact) and stats registry (cache counters merge with
+        everything else).
+        """
+        from repro.cluster.bitcache import (  # avoid a cyclic import
+            DEFAULT_CACHE_CELLS,
+            BoardBitstreamStore,
+        )
+        from repro.hw.compile import SYNTH_CYCLES_PER_CELL
+
+        if self.bitstore is not None:
+            raise ConfigError("bitstream cache is already enabled")
+        self.bitstore = BoardBitstreamStore(
+            self.engine,
+            drc=self.drc,
+            stats=self.stats,
+            board=board if board is not None else "fpga0",
+            capacity_cells=capacity_cells if capacity_cells is not None
+            else DEFAULT_CACHE_CELLS,
+            cycles_per_cell=cycles_per_cell if cycles_per_cell is not None
+            else SYNTH_CYCLES_PER_CELL,
+        )
+        self.mgmt.attach_bitstore(self.bitstore)
+        return self.bitstore
 
     def enable_scheduler(self, **kwargs):
         """Attach a :class:`~repro.sched.TileScheduler` to this system.

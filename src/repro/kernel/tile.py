@@ -52,6 +52,10 @@ class Tile:
         self.failed = False
         #: cycle of the most recent fail-stop; recovery computes MTTR from it
         self.failed_at: Optional[int] = None
+        #: held by mgmt.load while a cache-path load is still acquiring its
+        #: artifact (the region isn't busy yet during synthesis, but the
+        #: slot is spoken for); free_tiles() excludes reserved tiles
+        self.reserved = False
 
     @property
     def endpoint(self) -> str:
@@ -63,11 +67,18 @@ class Tile:
 
     # -- lifecycle -------------------------------------------------------------
 
-    def start(self, accelerator, signed_by: Optional[str] = None) -> Event:
+    def start(self, accelerator, signed_by: Optional[str] = None,
+              artifact=None) -> Event:
         """Load the accelerator's bitstream and start its main process.
 
         The returned event succeeds when the accelerator is running (after
         reconfiguration time) or fails with the DRC/reconfig rejection.
+
+        With ``artifact`` (a :class:`~repro.hw.compile.BitstreamArtifact`
+        from the compile/cache pipeline) the region loads the artifact's
+        canonical bitstream instead of re-packaging the instance's, and a
+        ``drc_clean`` artifact skips the per-load DRC re-check — the screen
+        already ran once, at synthesis.
         """
         started = self.engine.event(f"{self.endpoint}.start")
         if self.occupied:
@@ -75,7 +86,11 @@ class Tile:
                 f"{self.endpoint} already runs {self.accelerator.name!r}"
             ))
             return started
-        load = self.region.load(accelerator.bitstream(signed_by=signed_by))
+        if artifact is not None:
+            load = self.region.load(artifact.bitstream,
+                                    precleared=artifact.drc_clean)
+        else:
+            load = self.region.load(accelerator.bitstream(signed_by=signed_by))
 
         def on_loaded(ev: Event) -> None:
             if ev.failed:

@@ -79,7 +79,7 @@ def consistency_smoke(
     kill_at: Optional[int] = 350_000,
     partition_at: Optional[int] = 1_000_000,
     heal_at: Optional[int] = 1_700_000,
-    settle: int = 800_000,
+    settle: int = 1_600_000,
     trace: bool = False,
 ) -> Dict[str, Any]:
     """Run the R2 chaos campaign; returns the deterministic report dict."""

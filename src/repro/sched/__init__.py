@@ -26,9 +26,13 @@ byte-identical scheduler/autoscaler event logs (pinned by CI).
 from repro.sched.admission import AdmissionController, TenantQuota
 from repro.sched.autoscaler import Autoscaler
 from repro.sched.job import Job, JobSpec, JobState
-from repro.sched.placement import Placer, PlacementPolicy
+from repro.sched.placement import Placer, PlacementPolicy, warm_first
 from repro.sched.scheduler import SchedEvent, TileScheduler
-from repro.sched.smoke import autoscale_chaos_smoke, autoscale_smoke
+from repro.sched.smoke import (
+    autoscale_chaos_smoke,
+    autoscale_smoke,
+    cache_step_smoke,
+)
 
 __all__ = [
     "AdmissionController",
@@ -39,8 +43,10 @@ __all__ = [
     "JobState",
     "Placer",
     "PlacementPolicy",
+    "warm_first",
     "TileScheduler",
     "SchedEvent",
     "autoscale_smoke",
     "autoscale_chaos_smoke",
+    "cache_step_smoke",
 ]

@@ -3,9 +3,10 @@
 Scaling an FPGA service up is *not* starting a process — it is streaming
 a partial bitstream for hundreds of thousands of cycles (a
 :class:`~repro.cluster.service.ClusterPortedService` replica takes
-``COST.logic_cells * RECONFIG_CYCLES_PER_CELL`` ≈ 480k cycles ≈ 2 ms).
-Naive per-tick increments pay that latency serially and oscillate.  This
-controller is built around that cost:
+``reconfig_duration(COST)`` ≈ 810k cycles ≈ 3 ms — and megacycles more
+when the board must *synthesize* the bitstream first, see
+:mod:`repro.hw.compile`).  Naive per-tick increments pay that latency
+serially and oscillate.  This controller is built around that cost:
 
 * **jump scaling** — when the queue signal trips, it sizes the *whole*
   deficit (``ceil(total_queue / target_queue)`` replicas) and issues the
@@ -17,7 +18,12 @@ controller is built around that cost:
 * **hysteresis on the way down** — ``down_after`` consecutive
   low-signal ticks are required per removal, and removals are graceful:
   the directory stops routing first, in-flight work drains, the
-  front-end retires the instance, and only then is the tile torn down.
+  front-end retires the instance, and only then is the tile torn down;
+* **predictive prefetch** (``prefetch=True``, clusters with a bitstream
+  cache) — when the queue signal is *rising toward* the scale-up
+  threshold, or the SLO fast window is burning, the controller warms
+  cold boards' artifact caches ahead of the decision, so the scale-up
+  that follows pays reconfiguration only, not synthesis.
 
 Signals come from the layers the OS already exposes: front-end
 per-instance queue depth (``BackendHealth.outstanding``) and per-tile
@@ -39,7 +45,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.cluster.service import ClusterPortedService
 from repro.errors import ConfigError
-from repro.hw.region import RECONFIG_CYCLES_PER_CELL
+from repro.hw.region import reconfig_duration
 
 __all__ = ["Autoscaler"]
 
@@ -61,6 +67,7 @@ class Autoscaler:
         drain_window: int = 5_000,
         util_low: Optional[float] = None,
         slo: Optional[Any] = None,
+        prefetch: bool = False,
     ):
         if min_replicas < 1 or max_replicas < min_replicas:
             raise ConfigError(
@@ -93,8 +100,13 @@ class Autoscaler:
         self.slo = slo
         #: cycles one replica's partial reconfiguration costs — the price
         #: every scale-up decision pays before capacity materializes
-        self.reconfig_cycles = (ClusterPortedService.COST.logic_cells
-                                * RECONFIG_CYCLES_PER_CELL)
+        #: (assuming a warm bitstream; a cold board also pays synthesis)
+        self.reconfig_cycles = reconfig_duration(ClusterPortedService.COST)
+        #: compile-ahead on early warning (needs cluster.bitplane)
+        self.prefetch = prefetch and getattr(cluster, "bitplane",
+                                             None) is not None
+        self.plane = getattr(cluster, "bitplane", None)
+        self.prefetches = 0
 
         #: deterministic decision log: (cycle, action, iid, replicas, info)
         self.events: List[Tuple] = []
@@ -166,6 +178,24 @@ class Autoscaler:
             self._prev_q = total_q
             self.series.append((self.engine.now, ready, self.replicas(),
                                 round(per_q, 3), round(util, 4)))
+            # 1b) predictive prefetch: the queue is rising toward the
+            # threshold (or the SLO budget is already burning) and a
+            # scale-up is still possible — start warming cold boards NOW,
+            # so when the jump decision lands the bitstream is an artifact
+            # cache hit instead of a multi-megacycle synthesis run
+            if (self.prefetch
+                    and self._pending_up == 0
+                    and self.replicas() < self.max_replicas
+                    and ((qdot > 0 and per_q > self.high_queue / 2)
+                         or (self.slo is not None
+                             and self.slo.firing(self.service,
+                                                 self.engine.now)))):
+                issued = self.plane.prefetch_service(self.service)
+                if issued:
+                    self.prefetches += len(issued)
+                    self._log("prefetch",
+                              ",".join(f"fpga{i}" for i in sorted(issued)),
+                              f"queue={per_q:.1f} qdot={qdot:.4f}")
             # 2) keep the floor (also re-adds after a failed replacement)
             if (self._pending_up == 0
                     and self.replicas() < self.min_replicas):

@@ -9,7 +9,7 @@ identical results (the benchmark byte-compares the full event log).
 The main run (:func:`autoscale_smoke`) drives a stateless KV service
 through a three-phase open-loop load: steady base traffic, a
 ``step_factor``× step, then base again.  The interesting physics is the
-reconfiguration cost: a new replica takes ~480k cycles of partial
+reconfiguration cost: a new replica takes ~810k cycles of partial
 reconfiguration before it serves, so the autoscaler must size the whole
 deficit in one decision (jump scaling) for tail latency to converge
 inside the step window.
@@ -17,6 +17,11 @@ inside the step window.
 The chaos run (:func:`autoscale_chaos_smoke`) fail-stops one replica's
 tile mid-run and checks the control loop replaces it and keeps serving
 with no operator in the loop.
+
+The cache run (:func:`cache_step_smoke`) is the C1 experiment: the same
+load step against a cluster with the bitstream compile-and-cache
+pipeline enabled, measuring scale-up-ready time with a warm
+(prefetched) vs cold (synthesize-on-demand) artifact cache.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from repro.errors import TileFault
 from repro.policy import RetryPolicy
 from repro.workloads.client import ClusterClient
 
-__all__ = ["autoscale_smoke", "autoscale_chaos_smoke"]
+__all__ = ["autoscale_smoke", "autoscale_chaos_smoke", "cache_step_smoke"]
 
 
 def _shared_kv_factory(work_cycles: int):
@@ -204,13 +209,153 @@ def autoscale_smoke(
     }
 
 
+def cache_step_smoke(
+    seed: int = 0,
+    n_fpgas: int = 2,
+    clients: int = 2,
+    warm: bool = True,
+    work_cycles: int = 3_000,
+    base_gap: int = 24_000,
+    step_factor: int = 8,
+    phase_a: int = 600_000,
+    min_replicas: int = 1,
+    max_replicas: int = 2,
+    interval: int = 20_000,
+    high_queue: float = 8.0,
+    low_queue: float = 1.0,
+    target_queue: float = 3.0,
+    request_timeout: int = 10_000_000,
+    max_pending: int = 4_096,
+    chunk: int = 50_000,
+    max_step: int = 12_000_000,
+    drain_chunks: int = 2,
+) -> Dict[str, Any]:
+    """The C1 experiment: scale-up-ready time, warm vs cold bitstreams.
+
+    One stateless KV replica takes a load step; the autoscaler buys a
+    second replica, which lands on the *other* board.  The metric is
+    ``ready_latency`` — scale-up decision to ``up_ready``:
+
+    * ``warm=True`` — the cluster runs warm placement + prefetch, and the
+      service's design family is prefetched onto every board right after
+      deploy (the operator's "I will scale this" hint).  The scale-up
+      pays partial reconfiguration only (~810k cycles).
+    * ``warm=False`` — cache enabled but no prefetch and legacy
+      round-robin placement: the new replica lands on a board that has
+      never seen the design and pays a full synthesis run first
+      (~4.9M cycles).
+
+    Built through :class:`~repro.cluster.config.ClusterConfig` (the
+    config-object path), so C1 also exercises the redesigned cluster
+    API end to end.  Deterministic: identical arguments give an
+    identical result dict (the benchmark byte-compares it).
+    """
+    from dataclasses import replace
+
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.config import CacheConfig, ClusterConfig, SchedConfig
+    from repro.kernel.config import SystemConfig
+
+    system = SystemConfig.figure1()
+    if seed:
+        system = replace(system, seed=seed)
+    cluster = Cluster(config=ClusterConfig(
+        n_fpgas=n_fpgas,
+        system=system,
+        swallow_orphan_errors=True,
+        cache=CacheConfig(enabled=True, prefetch=warm,
+                          warm_placement=warm),
+        sched=SchedConfig(
+            min_replicas=min_replicas, max_replicas=max_replicas,
+            interval=interval, high_queue=high_queue,
+            low_queue=low_queue, target_queue=target_queue,
+            drain_window=10_000),
+    ))
+    cluster.boot()
+    started = cluster.deploy_stateless(
+        "kv", _shared_kv_factory(work_cycles), instances=min_replicas)
+    cluster.engine.run_until_done(cluster.engine.all_of(started),
+                                  limit=100_000_000)
+    prefetched: List[int] = []
+    if warm:
+        # compile-ahead on every board that has not seen the design yet;
+        # by the time the load step arrives, scale-up is a cache hit
+        issued = cluster.bitplane.prefetch_service("kv")
+        prefetched = sorted(issued)
+        if issued:
+            cluster.engine.run_until_done(
+                cluster.engine.all_of(list(issued.values())),
+                limit=100_000_000)
+    patient = RetryPolicy(deadline=request_timeout,
+                          attempt_timeout=request_timeout,
+                          backoff_base=200, backoff_cap=2_000)
+    cluster.start_frontend(max_pending=max_pending, retry=patient)
+    scaler = cluster.start_autoscaler("kv")
+    cluster.run(until=cluster.engine.now + 5_000)
+
+    results: List[Tuple] = []
+    start = cluster.engine.now
+    phases = [(phase_a, base_gap, "a"),
+              (phase_a + max_step, base_gap // step_factor, "b")]
+    for c in range(clients):
+        host = ClusterClient(cluster.engine, cluster.fabric, f"host{c}")
+        cluster.engine.process(
+            _open_loop_kv(host, c, phases, results, request_timeout),
+            name=f"{host.mac}.loadgen")
+    cluster.run(until=start + phase_a)
+    step_at = cluster.engine.now
+
+    def first(action, after):
+        hits = [t for t, a, *_rest in scaler.events
+                if a == action and t >= after]
+        return min(hits) if hits else None
+
+    # run in fixed chunks until the step's scale-up replica is serving
+    # (chunk-quantized stop keeps reruns byte-identical)
+    while cluster.engine.now < start + phase_a + max_step:
+        cluster.run(until=cluster.engine.now + chunk)
+        if first("up_ready", step_at) is not None:
+            break
+    for _ in range(drain_chunks):
+        cluster.run(until=cluster.engine.now + chunk)
+
+    decided_at = first("scale_up", step_at)
+    ready_at = first("up_ready", step_at)
+    ready_latency = (ready_at - decided_at
+                     if decided_at is not None and ready_at is not None
+                     else None)
+    # where did the new replica land, and was that board warm?
+    new_inst = max(cluster.directory.spec("kv").instances,
+                   key=lambda i: i.replica)
+    tele = cluster.systems[0].mgmt.telemetry()[0]
+    return {
+        "seed": seed,
+        "warm": warm,
+        "clients": clients,
+        "phase_a": phase_a,
+        "prefetched_boards": prefetched,
+        "scale_up_at": decided_at,
+        "up_ready_at": ready_at,
+        "ready_latency": ready_latency,
+        "new_replica_fpga": new_inst.fpga,
+        "reconfig_cycles": scaler.reconfig_cycles,
+        "autoscaler_prefetches": scaler.prefetches,
+        "completed": sum(1 for r in results if r[1] is not None),
+        "cache": cluster.bitplane.telemetry(),
+        "gauges": {k: tele[k] for k in
+                   ("bitcache_hit_rate", "bitcache_prefetch_accuracy",
+                    "bitcache_synth_backlog") if k in tele},
+        "event_log": [list(e) for e in scaler.events],
+    }
+
+
 def autoscale_chaos_smoke(
     seed: int = 0,
     n_fpgas: int = 2,
     clients: int = 4,
     work_cycles: int = 3_000,
     gap: int = 12_000,
-    duration: int = 1_500_000,
+    duration: int = 1_800_000,
     kill_after: int = 400_000,
     min_replicas: int = 2,
     max_replicas: int = 4,

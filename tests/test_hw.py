@@ -196,8 +196,10 @@ class TestReconfigRegion:
 
     def test_load_takes_time_proportional_to_size(self):
         eng, region = self.make()
-        small = self.bitstream(10_000)
-        big = self.bitstream(100_000)
+        # duration covers the whole resource vector (cells + BRAM + DSP),
+        # so scale all three components to see pure proportionality
+        small = Bitstream.build("s", ResourceVector(10_000, 10, 1))
+        big = Bitstream.build("b", ResourceVector(100_000, 100, 10))
         assert region.load_duration(big) == 10 * region.load_duration(small)
 
     def test_load_completes_and_occupies(self):

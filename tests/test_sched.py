@@ -503,7 +503,7 @@ class TestAutoscalerRuns:
 
     def test_load_step_scales_up_then_back_down(self):
         import repro.sched.smoke as sm
-        out = sm.autoscale_smoke(phase_a=200_000, phase_b=700_000,
+        out = sm.autoscale_smoke(phase_a=200_000, phase_b=1_300_000,
                                  phase_c=400_000, settle_margin=150_000,
                                  drain=400_000)
         assert out["failed"] == 0
