@@ -34,7 +34,7 @@ the cross-FPGA critical path end to end.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.directory import ServiceInstance, ServiceSpec
 from repro.errors import ConfigError, ServiceUnavailable
@@ -94,11 +94,18 @@ class FrontEnd:
         heartbeat_interval: int = 10_000,
         window: int = 16,
         transport_timeout: int = 50_000,
+        max_backlog: int = 256,
+        queue_deadline: int = 120_000,
     ):
         if max_pending < 1:
             raise ConfigError(f"max_pending must be >= 1, got {max_pending}")
         if batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        if max_backlog < 0:
+            raise ConfigError(f"max_backlog must be >= 0, got {max_backlog}")
+        if queue_deadline < 0:
+            raise ConfigError(
+                f"queue_deadline must be >= 0, got {queue_deadline}")
         self.cluster = cluster
         self.engine = cluster.engine
         self.fabric = cluster.fabric
@@ -115,6 +122,8 @@ class FrontEnd:
         self.heartbeat_interval = heartbeat_interval
         self.window = window
         self.transport_timeout = transport_timeout
+        self.max_backlog = max_backlog
+        self.queue_deadline = queue_deadline
 
         self._peers: Dict[str, ReliableEndpoint] = {}
         self._irid = itertools.count(1)
@@ -131,10 +140,18 @@ class FrontEnd:
         self._tracked: Dict[str, ServiceInstance] = {}
         self._retired: set = set()
 
+        #: the open-loop submit queue: (submitted_at, srid, req, on_done)
+        self._backlog: List[
+            Tuple[int, int, Dict[str, Any], Optional[Callable]]] = []
+        self._srid = itertools.count(1)
+        self._dispatch_kick: Optional[Event] = None
+        self._dispatcher_started = False
+
         self.inflight = 0
         self.requests_admitted = 0
         self.requests_rejected = 0
         self.requests_failed = 0
+        self.requests_dropped = 0
         self.responses_sent = 0
         self.batches_sent = 0
         self.failovers = 0
@@ -290,6 +307,96 @@ class FrontEnd:
         health.outstanding -= 1
         health.mark_miss()
 
+    # -- open-loop submission ---------------------------------------------
+
+    def submit(self, service: str, body: Any = None, key: Any = None,
+               write: bool = False, tenant: Optional[str] = None,
+               nbytes: int = 64,
+               on_done: Optional[Callable[[Dict[str, Any]], None]] = None,
+               ) -> bool:
+        """Fire-and-record entry point for open-loop traffic generators.
+
+        Never blocks and never back-pressures the caller: the request
+        lands in a bounded backlog and a dispatcher process admits from
+        it as in-flight slots free up.  Three distinct outcomes:
+
+        * **served** — dispatched within ``queue_deadline``; ``on_done``
+          gets the same reply body a fabric client would (``{"ok": ...}``,
+          retries and failover included);
+        * **rejected** — admitted from the backlog only after waiting
+          longer than ``queue_deadline`` (sustained overload): counted as
+          an admission reject, ``on_done`` gets ``{"rejected": True}``;
+        * **dropped** — the backlog itself is full (extreme overload):
+          counted separately in ``requests_dropped``, ``on_done`` is not
+          invoked, and ``submit`` returns ``False``.
+
+        Every outcome feeds the SLO engine — an open-loop run's goodput
+        is scored against *offered* load, not just admitted load.
+        """
+        req = {"service": service, "body": body, "key": key,
+               "write": write, "tenant": tenant, "nbytes": nbytes}
+        if len(self._backlog) >= self.max_backlog:
+            self.requests_dropped += 1
+            self.stats.counter("frontend.requests_dropped").inc()
+            self._observe_slo(service, None, False, tenant)
+            return False
+        self._backlog.append((self.engine.now, next(self._srid), req,
+                              on_done))
+        if not self._dispatcher_started:
+            self._dispatcher_started = True
+            self.engine.process(self._dispatcher(), name="fe.dispatch")
+        self._wake_dispatcher()
+        return True
+
+    def backlog_depth(self, service: Optional[str] = None) -> int:
+        """Queued-but-not-admitted submissions (optionally per service) —
+        the open-loop pressure signal the autoscaler folds into its queue
+        depth."""
+        if service is None:
+            return len(self._backlog)
+        return sum(1 for _at, _srid, req, _cb in self._backlog
+                   if req["service"] == service)
+
+    def _wake_dispatcher(self) -> None:
+        kick = self._dispatch_kick
+        if kick is not None and not kick.triggered:
+            self._dispatch_kick = None
+            kick.succeed(None)
+
+    def _dispatcher(self):
+        """Admit from the backlog whenever in-flight slots free up."""
+        while True:
+            while self._backlog and self.inflight < self.max_pending:
+                submitted_at, srid, req, on_done = self._backlog.pop(0)
+                reply = self._submit_reply(on_done)
+                waited = self.engine.now - submitted_at
+                if waited > self.queue_deadline:
+                    # sustained overload: the slot freed up too late —
+                    # this is an admission reject, not a silent drop
+                    self.requests_rejected += 1
+                    self.stats.counter(
+                        "frontend.queue_deadline_rejects").inc()
+                    self._observe_slo(req["service"], None, False,
+                                      req.get("tenant"))
+                    reply({"ok": False, "rejected": True})
+                    continue
+                self.inflight += 1
+                self.requests_admitted += 1
+                self.engine.process(
+                    self._serve(reply, "submit", srid, req,
+                                t0=submitted_at),
+                    name=f"fe.submit.{srid}")
+            kick = self.engine.event("fe.dispatch.kick")
+            self._dispatch_kick = kick
+            yield kick
+
+    def _submit_reply(self, on_done: Optional[Callable]) -> Callable:
+        """A reply path that lands in a callback instead of on the wire."""
+        def reply(body: Any) -> None:
+            if on_done is not None:
+                on_done(body)
+        return reply
+
     # -- admission + serving ----------------------------------------------
 
     def _admit(self, client_mac: str, rid: int, req: Any) -> None:
@@ -306,8 +413,14 @@ class FrontEnd:
             return
         self.inflight += 1
         self.requests_admitted += 1
-        self.engine.process(self._serve(client_mac, rid, req),
+        reply = self._fabric_reply(client_mac, rid)
+        self.engine.process(self._serve(reply, client_mac, rid, req),
                             name=f"fe.serve.{rid}")
+
+    def _fabric_reply(self, client_mac: str, rid: int) -> Callable:
+        def reply(body: Any) -> None:
+            self._reply(client_mac, rid, body)
+        return reply
 
     def _observe_slo(self, service: str, latency: Optional[int],
                      ok: bool, tenant: Optional[str]) -> None:
@@ -321,17 +434,22 @@ class FrontEnd:
             slo.observe(service, latency, ok, self.engine.now,
                         tenant=tenant)
 
-    def _serve(self, client_mac: str, rid: int, req: Dict[str, Any]):
+    def _serve(self, reply: Callable, origin: str, rid: int,
+               req: Dict[str, Any], t0: Optional[int] = None):
         service = req["service"]
         tenant = req.get("tenant")
-        start = self.engine.now
+        # submit-path requests measure latency from submission, so time
+        # spent queued in the backlog counts against the SLO — open-loop
+        # honesty: the client "sent" the request at its arrival time
+        start = t0 if t0 is not None else self.engine.now
         try:
             spec = self.directory.spec(service)
         except ConfigError as err:
             self.inflight -= 1
             self.requests_failed += 1
             self._observe_slo(service, None, False, tenant)
-            self._reply(client_mac, rid, {"ok": False, "error": str(err)})
+            self._wake_dispatcher()
+            reply({"ok": False, "error": str(err)})
             return
         key = req.get("key")
         is_write = bool(req.get("write"))
@@ -339,7 +457,8 @@ class FrontEnd:
             self.inflight -= 1
             self.requests_failed += 1
             self._observe_slo(service, None, False, tenant)
-            self._reply(client_mac, rid, {
+            self._wake_dispatcher()
+            reply({
                 "ok": False,
                 "error": f"chained service {service!r} requires a key"})
             return
@@ -353,7 +472,7 @@ class FrontEnd:
         rotation = itertools.count()
         # a stable write id across this request's *frontend* attempts:
         # the chain head dedups retried writes it already logged
-        wid = f"{client_mac}#{rid}" if (spec.chained and is_write) else None
+        wid = f"{origin}#{rid}" if (spec.chained and is_write) else None
 
         def attempt(attempt_timeout: int) -> Event:
             if spec.chained:
@@ -377,13 +496,14 @@ class FrontEnd:
         except BaseException as err:
             failed = True
             self.requests_failed += 1
-            self._reply(client_mac, rid, {"ok": False, "error": str(err)})
+            reply({"ok": False, "error": str(err)})
         else:
-            self._reply(client_mac, rid, {"ok": True, "body": out_body})
+            reply({"ok": True, "body": out_body})
         finally:
             self.inflight -= 1
             self._observe_slo(service, self.engine.now - start,
                               not failed, tenant)
+            self._wake_dispatcher()
             if root:
                 self.spans.close(root, self.engine.now, failed=failed)
 
@@ -633,6 +753,8 @@ class FrontEnd:
             "requests_admitted": self.requests_admitted,
             "requests_rejected": self.requests_rejected,
             "requests_failed": self.requests_failed,
+            "requests_dropped": self.requests_dropped,
+            "backlog_depth": len(self._backlog),
             "responses_sent": self.responses_sent,
             "batches_sent": self.batches_sent,
             "failovers": self.failovers,

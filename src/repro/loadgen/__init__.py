@@ -1,0 +1,37 @@
+"""Internet-scale traffic & scenario engine with declarative SLO-scored runs.
+
+The open-loop workload layer ROADMAP item 2 asks for: seeded arrival
+processes shaped by rate envelopes (:mod:`~repro.loadgen.arrivals`), a
+frozen declarative :class:`~repro.loadgen.scenario.Scenario` composing
+arrival model × tenant mix × chaos plan × SLO targets, a
+:class:`~repro.loadgen.runner.ScenarioRunner` that executes it on any
+cluster backend with byte-identical results, and a canned scenario
+library (:mod:`~repro.loadgen.library`) every scaling PR reports against.
+"""
+
+from repro.loadgen.arrivals import ArrivalSpec, EnvelopeSpec, arrival_times
+from repro.loadgen.library import SCENARIOS, get_scenario, scenario_names
+from repro.loadgen.report import ScenarioReport
+from repro.loadgen.runner import ScenarioRunner, run_scenario
+from repro.loadgen.scenario import (
+    ChaosAction,
+    Scenario,
+    ServiceDecl,
+    TenantSpec,
+)
+
+__all__ = [
+    "ArrivalSpec",
+    "EnvelopeSpec",
+    "arrival_times",
+    "Scenario",
+    "ServiceDecl",
+    "TenantSpec",
+    "ChaosAction",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "run_scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+]

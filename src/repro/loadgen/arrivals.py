@@ -1,0 +1,203 @@
+"""Open-loop arrival synthesis: base processes shaped by rate envelopes.
+
+The traffic engine materializes every tenant's arrival schedule *before*
+the run: a sorted list of integer cycles at which requests fire, whatever
+the cluster is doing at that moment.  That is the definition of an
+open-loop workload — arrival times are a pure function of (seed, spec),
+never of completions — and it is also what makes a scenario reproducible
+to the byte across execution backends.
+
+Two declarative pieces compose:
+
+* :class:`ArrivalSpec` — the base point process (seeded Poisson, or
+  heavy-tailed lognormal/Pareto gaps, or a deterministic constant drip)
+  at a long-run ``rate_per_kcycle``;
+* :class:`EnvelopeSpec` — a deterministic rate-shaping curve over the
+  scenario window (diurnal sinusoid, linear ramp, flash-crowd spike,
+  square wave), any number of which multiply together over the base.
+
+Shaping uses Lewis–Shedler thinning: the base process is generated at the
+envelope's *peak* rate and each arrival at cycle ``t`` survives with
+probability ``factor(t) / peak`` drawn from an independent seeded stream.
+Thinning is exact for Poisson (the result is the non-homogeneous process
+with the composed rate) and is the standard modulation for heavy-tailed
+gap processes, whose burst structure survives the envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+from repro.sim import RngPool
+from repro.workloads.generators import (
+    constant_gaps,
+    lognormal_gaps,
+    pareto_gaps,
+    poisson_gaps,
+)
+
+__all__ = ["EnvelopeSpec", "ArrivalSpec", "arrival_times"]
+
+#: base gap draws per chunk while filling the scenario window
+_CHUNK = 512
+
+#: the base point processes an ArrivalSpec may name
+PROCESSES = ("poisson", "lognormal", "pareto", "constant")
+
+#: the envelope shapes an EnvelopeSpec may name
+SHAPES = ("diurnal", "ramp", "spike", "square")
+
+
+@dataclass(frozen=True)
+class EnvelopeSpec:
+    """One deterministic rate-shaping curve, as a multiplicative factor.
+
+    ``shape`` selects the curve; the other fields are knobs whose meaning
+    follows the shape (unused knobs are ignored but round-trip through
+    ``to_dict``/``from_dict`` untouched):
+
+    ``diurnal``
+        a raised cosine swinging between ``low`` and ``high`` once per
+        ``period`` cycles (``period=0`` means once per scenario), starting
+        at the ``low`` point — a day compressed into simulated time;
+    ``ramp``
+        linear from ``low`` to ``high`` across ``[start, end)``, holding
+        ``high`` after (``end=0`` means the scenario end);
+    ``spike``
+        factor ``high`` inside ``[start, end)`` and ``low`` outside — the
+        flash crowd;
+    ``square``
+        alternating ``low``/``high`` half-periods of ``period`` cycles —
+        the load-step soak.
+    """
+
+    shape: str
+    low: float = 1.0
+    high: float = 1.0
+    period: int = 0
+    start: int = 0
+    end: int = 0
+
+    def __post_init__(self):
+        if self.shape not in SHAPES:
+            raise ConfigError(
+                f"unknown envelope shape {self.shape!r}; pick one of "
+                f"{SHAPES}")
+        if self.low < 0 or self.high < 0:
+            raise ConfigError("envelope factors must be non-negative")
+        if self.low > self.high:
+            raise ConfigError(
+                f"envelope low {self.low} exceeds high {self.high}")
+        if self.shape in ("diurnal", "square") and self.period < 0:
+            raise ConfigError("period must be >= 0 (0 = whole scenario)")
+        if self.shape in ("ramp", "spike") and self.end \
+                and self.end <= self.start:
+            raise ConfigError("envelope end must sit after start")
+
+    def peak(self) -> float:
+        return self.high
+
+    def factor_at(self, t: int, duration: int) -> float:
+        """The multiplicative rate factor at cycle ``t`` (from window
+        start); pure float math, identical on every backend."""
+        if self.shape == "diurnal":
+            period = self.period or duration
+            phase = (t % period) / period
+            return self.low + (self.high - self.low) * 0.5 * (
+                1.0 - math.cos(2.0 * math.pi * phase))
+        if self.shape == "ramp":
+            end = self.end or duration
+            if t < self.start:
+                return self.low
+            if t >= end:
+                return self.high
+            frac = (t - self.start) / (end - self.start)
+            return self.low + (self.high - self.low) * frac
+        if self.shape == "spike":
+            end = self.end or duration
+            return self.high if self.start <= t < end else self.low
+        # square
+        period = self.period or duration
+        half = max(1, period // 2)
+        return self.high if (t // half) % 2 else self.low
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """A seeded base process plus any number of shaping envelopes."""
+
+    process: str = "poisson"
+    rate_per_kcycle: float = 1.0
+    #: lognormal shape (heavier tail as it grows)
+    sigma: float = 1.0
+    #: pareto tail index (must exceed 1; heavier tail as it shrinks)
+    alpha: float = 1.5
+    envelopes: Tuple[EnvelopeSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if self.process not in PROCESSES:
+            raise ConfigError(
+                f"unknown arrival process {self.process!r}; pick one of "
+                f"{PROCESSES}")
+        if self.rate_per_kcycle <= 0:
+            raise ConfigError("rate_per_kcycle must be positive")
+        if not isinstance(self.envelopes, tuple):
+            object.__setattr__(self, "envelopes", tuple(self.envelopes))
+
+    def peak_factor(self) -> float:
+        factor = 1.0
+        for env in self.envelopes:
+            factor *= env.peak()
+        return factor
+
+    def factor_at(self, t: int, duration: int) -> float:
+        factor = 1.0
+        for env in self.envelopes:
+            factor *= env.factor_at(t, duration)
+        return factor
+
+    def _gaps(self, rng, rate: float, count: int) -> List[int]:
+        if self.process == "poisson":
+            return poisson_gaps(rng, rate, count)
+        if self.process == "lognormal":
+            return lognormal_gaps(rng, rate, count, sigma=self.sigma)
+        if self.process == "pareto":
+            return pareto_gaps(rng, rate, count, alpha=self.alpha)
+        return constant_gaps(rate, count)
+
+
+def arrival_times(spec: ArrivalSpec, duration: int, pool: RngPool,
+                  stream: str = "arrivals") -> List[int]:
+    """Materialize one tenant's arrival cycles over ``[1, duration]``.
+
+    The base process runs at ``rate * peak_factor`` and each arrival is
+    thinned by ``factor(t) / peak_factor`` using the independent
+    ``<stream>.thin`` stream — so the same pool always yields the same
+    schedule, and an unshaped spec consumes zero thinning draws (the
+    envelope-free fast path really is the bare process).
+    """
+    if duration <= 0:
+        raise ConfigError("duration must be positive")
+    peak = spec.peak_factor()
+    if peak <= 0:
+        raise ConfigError(
+            "the composed envelope peak is zero; no arrivals could ever "
+            "survive thinning")
+    gap_rng = pool.stream(stream)
+    thin_rng = pool.stream(f"{stream}.thin") if spec.envelopes else None
+    times: List[int] = []
+    now = 0
+    while now <= duration:
+        for gap in spec._gaps(gap_rng, spec.rate_per_kcycle * peak, _CHUNK):
+            now += gap
+            if now > duration:
+                break
+            if thin_rng is not None:
+                keep = spec.factor_at(now, duration) / peak
+                if thin_rng.random() >= keep:
+                    continue
+            times.append(now)
+    return times

@@ -1,0 +1,232 @@
+"""The canned scenario library: six named, seeded, SLO-scored runs.
+
+Each factory returns a frozen :class:`~repro.loadgen.scenario.Scenario`
+tuned so its declared ``expect_pass`` holds with margin — these are the
+fixtures every later scaling PR reports against, so their verdicts (and
+their report bytes, for the two CI-pinned ones) must be boring.
+
+Rough capacity math behind the tuning: a kv service serves from its
+shard primaries, so capacity ≈ ``shards × 1000 / work_cycles`` requests
+per kilocycle; an echo service ≈ ``instances × 1000 / work_cycles``.
+Passing scenarios sit well under that; ``overload_probe`` sits ~7× over
+it on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigError
+from repro.loadgen.arrivals import ArrivalSpec, EnvelopeSpec
+from repro.loadgen.scenario import (
+    ChaosAction,
+    Scenario,
+    ServiceDecl,
+    TenantSpec,
+)
+from repro.obs.slo import SLOTarget
+
+__all__ = ["SCENARIOS", "get_scenario", "scenario_names",
+           "steady_state", "diurnal_day", "flash_crowd", "tenant_storm",
+           "chaos_soak", "overload_probe"]
+
+
+def steady_state(seed: int = 0) -> Scenario:
+    """Two tenants, flat Poisson load at ~30% utilization: the baseline
+    everything else perturbs.  Must pass."""
+    kv = ServiceDecl("kv", kind="kv", shards=4, replicas=2,
+                     work_cycles=2_000)
+    return Scenario(
+        name="steady_state", seed=seed, duration=600_000, n_fpgas=2,
+        services=(kv,),
+        tenants=(
+            TenantSpec("alpha", "kv",
+                       ArrivalSpec("poisson", rate_per_kcycle=0.3)),
+            TenantSpec("beta", "kv",
+                       ArrivalSpec("poisson", rate_per_kcycle=0.3),
+                       read_fraction=0.5),
+        ),
+        slos=(
+            SLOTarget("kv-availability", "kv", objective=0.99,
+                      latency_cycles=50_000),
+            SLOTarget("alpha-latency", "kv", objective=0.95,
+                      latency_cycles=30_000, tenant="alpha"),
+        ),
+        expect_pass=True,
+    )
+
+
+def diurnal_day(seed: int = 0) -> Scenario:
+    """A compressed day: one diurnal tenant swinging 0.3×–1.5× over the
+    window on top of a flat colleague.  Peak stays under capacity, so
+    the day must pass."""
+    kv = ServiceDecl("kv", kind="kv", shards=4, replicas=2,
+                     work_cycles=2_000)
+    return Scenario(
+        name="diurnal_day", seed=seed, duration=800_000, n_fpgas=2,
+        services=(kv,),
+        tenants=(
+            TenantSpec("daily", "kv",
+                       ArrivalSpec("poisson", rate_per_kcycle=0.4,
+                                   envelopes=(EnvelopeSpec(
+                                       "diurnal", low=0.3, high=1.5),))),
+            TenantSpec("flat", "kv",
+                       ArrivalSpec("poisson", rate_per_kcycle=0.2)),
+        ),
+        slos=(
+            SLOTarget("kv-availability", "kv", objective=0.99,
+                      latency_cycles=50_000),
+        ),
+        expect_pass=True,
+    )
+
+
+def flash_crowd(seed: int = 0) -> Scenario:
+    """A 4× crowd spike for 100 kilocycles against a 4-board cluster.
+
+    The spike pushes the crowd tenant to ~2.0 requests/kcycle against
+    ~8/kcycle of shard capacity — Zipf popularity concentrates roughly a
+    quarter of each tenant's traffic on the hottest shard, so the *hot
+    shard* peaks near 60% utilization: queues grow, admission control
+    holds, and both tenants' SLOs must survive the surge.  One of the
+    two CI-pinned T2 scenarios.
+    """
+    kv = ServiceDecl("kv", kind="kv", shards=8, replicas=2,
+                     work_cycles=1_000)
+    return Scenario(
+        name="flash_crowd", seed=seed, duration=600_000, n_fpgas=4,
+        services=(kv,),
+        tenants=(
+            TenantSpec("crowd", "kv",
+                       ArrivalSpec("poisson", rate_per_kcycle=0.5,
+                                   envelopes=(EnvelopeSpec(
+                                       "spike", low=1.0, high=4.0,
+                                       start=200_000, end=300_000),))),
+            TenantSpec("background", "kv",
+                       ArrivalSpec("poisson", rate_per_kcycle=0.5),
+                       read_fraction=0.8),
+        ),
+        slos=(
+            SLOTarget("kv-availability", "kv", objective=0.99,
+                      latency_cycles=60_000),
+            SLOTarget("crowd-latency", "kv", objective=0.95,
+                      latency_cycles=60_000, tenant="crowd"),
+            SLOTarget("background-latency", "kv", objective=0.95,
+                      latency_cycles=60_000, tenant="background"),
+        ),
+        expect_pass=True,
+    )
+
+
+def tenant_storm(seed: int = 0) -> Scenario:
+    """Two polite Poisson tenants share a service with a heavy-tailed
+    rogue whose bursts overrun the cluster.  Per-tenant SLO rows show
+    who actually suffered; no top-level expectation is declared — the
+    interesting output is the per-tenant breakdown, not the verdict."""
+    kv = ServiceDecl("kv", kind="kv", shards=4, replicas=2,
+                     work_cycles=2_000)
+    return Scenario(
+        name="tenant_storm", seed=seed, duration=600_000, n_fpgas=2,
+        services=(kv,),
+        tenants=(
+            TenantSpec("alpha", "kv",
+                       ArrivalSpec("poisson", rate_per_kcycle=0.3)),
+            TenantSpec("beta", "kv",
+                       ArrivalSpec("poisson", rate_per_kcycle=0.3)),
+            TenantSpec("rogue", "kv",
+                       ArrivalSpec("lognormal", rate_per_kcycle=1.6,
+                                   sigma=2.0),
+                       read_fraction=0.2, key_universe=64),
+        ),
+        slos=(
+            SLOTarget("alpha-latency", "kv", objective=0.95,
+                      latency_cycles=40_000, tenant="alpha"),
+            SLOTarget("beta-latency", "kv", objective=0.95,
+                      latency_cycles=40_000, tenant="beta"),
+            SLOTarget("rogue-latency", "kv", objective=0.95,
+                      latency_cycles=40_000, tenant="rogue"),
+        ),
+    )
+
+
+def chaos_soak(seed: int = 0) -> Scenario:
+    """Moderate load on 4 boards through a board kill, a network
+    partition, and a heal.  Replication is arranged so every shard
+    keeps a live replica throughout; failovers absorb the faults and
+    the run must still pass.  The second CI-pinned T2 scenario."""
+    kv = ServiceDecl("kv", kind="kv", shards=4, replicas=2,
+                     work_cycles=2_000)
+    return Scenario(
+        name="chaos_soak", seed=seed, duration=800_000, n_fpgas=4,
+        services=(kv,),
+        tenants=(
+            TenantSpec("alpha", "kv",
+                       ArrivalSpec("poisson", rate_per_kcycle=0.4)),
+            TenantSpec("beta", "kv",
+                       ArrivalSpec("poisson", rate_per_kcycle=0.4),
+                       read_fraction=0.5),
+        ),
+        chaos=(
+            # shard s lives on boards (s, s+1) mod 4: killing board 3
+            # and partitioning board 1 still leaves every shard one
+            # reachable replica — failover territory, not an outage
+            ChaosAction(at=250_000, action="kill", board=3),
+            ChaosAction(at=450_000, action="partition", board=1),
+            ChaosAction(at=600_000, action="heal", board=1),
+        ),
+        slos=(
+            SLOTarget("kv-availability", "kv", objective=0.95,
+                      latency_cycles=80_000),
+        ),
+        expect_pass=True,
+    )
+
+
+def overload_probe(seed: int = 0) -> Scenario:
+    """~7× sustained overload of a tiny echo deployment.
+
+    The open-loop acceptance probe: arrivals keep firing at 3.5/kcycle
+    against ~0.5/kcycle of capacity, so offered load must exceed served
+    goodput by a wide margin, the backlog must drop, and the SLO must
+    fail — ``expect_pass=False`` is the *correct* outcome."""
+    echo = ServiceDecl("echo", kind="echo", instances=2,
+                       work_cycles=4_000)
+    return Scenario(
+        name="overload_probe", seed=seed, duration=300_000, n_fpgas=2,
+        services=(echo,),
+        tenants=(
+            TenantSpec("firehose", "echo",
+                       ArrivalSpec("pareto", rate_per_kcycle=3.5,
+                                   alpha=1.5)),
+        ),
+        slos=(
+            SLOTarget("echo-availability", "echo", objective=0.99,
+                      latency_cycles=50_000),
+        ),
+        expect_pass=False,
+    )
+
+
+SCENARIOS: Dict[str, Callable[..., Scenario]] = {
+    "steady_state": steady_state,
+    "diurnal_day": diurnal_day,
+    "flash_crowd": flash_crowd,
+    "tenant_storm": tenant_storm,
+    "chaos_soak": chaos_soak,
+    "overload_probe": overload_probe,
+}
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str, seed: int = 0) -> Scenario:
+    """The canned scenario called ``name``, seeded."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; pick one of {scenario_names()}"
+        ) from None
+    return factory(seed=seed)

@@ -150,6 +150,9 @@ class Autoscaler:
             health = self.frontend.health.get(inst.iid)
             if health is not None:
                 total_q += health.outstanding
+        # open-loop pressure: submissions parked in the front-end backlog
+        # are demand just as real as dispatched-but-unanswered requests
+        total_q += self.frontend.backlog_depth(self.service)
         for inst in ready:
             tile = self.cluster.systems[inst.fpga].tiles[inst.node]
             util = max(util, tile.monitor.telemetry()["tx_flits_per_cycle"])

@@ -5,6 +5,9 @@ from repro.workloads.generators import (
     bimodal_sizes,
     bursty_gaps,
     constant_gaps,
+    keyed_stream,
+    lognormal_gaps,
+    pareto_gaps,
     poisson_gaps,
     uniform_sizes,
     video_chunks,
@@ -17,6 +20,9 @@ __all__ = [
     "constant_gaps",
     "poisson_gaps",
     "bursty_gaps",
+    "lognormal_gaps",
+    "pareto_gaps",
+    "keyed_stream",
     "zipf_keys",
     "uniform_sizes",
     "bimodal_sizes",

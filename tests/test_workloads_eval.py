@@ -11,6 +11,9 @@ from repro.workloads import (
     bimodal_sizes,
     bursty_gaps,
     constant_gaps,
+    keyed_stream,
+    lognormal_gaps,
+    pareto_gaps,
     poisson_gaps,
     uniform_sizes,
     video_chunks,
@@ -70,6 +73,67 @@ class TestGenerators:
             poisson_gaps(self.rng(), -1, 5)
         with pytest.raises(ConfigError):
             zipf_keys(self.rng(), 5, skew=1.0)
+
+    def test_lognormal_gaps_empirical_mean(self):
+        # mu is solved from sigma so the long-run rate is the contract:
+        # whatever the tail weight, the mean gap stays 1000 / rate
+        for sigma in (0.5, 1.0, 2.0):
+            gaps = lognormal_gaps(self.rng(), rate_per_kcycle=1.0,
+                                  count=40_000, sigma=sigma)
+            assert np.mean(gaps) == pytest.approx(1000, rel=0.1)
+            assert min(gaps) >= 1
+
+    def test_lognormal_heavier_tail_with_sigma(self):
+        tame = lognormal_gaps(self.rng(), 1.0, 40_000, sigma=0.5)
+        wild = lognormal_gaps(self.rng(), 1.0, 40_000, sigma=2.0)
+        assert np.percentile(wild, 99.9) > 5 * np.percentile(tame, 99.9)
+
+    def test_pareto_gaps_empirical_mean(self):
+        # alpha=2.5 has finite variance, so the sample mean converges
+        # fast enough for a tight check
+        gaps = pareto_gaps(self.rng(), rate_per_kcycle=2.0, count=40_000,
+                           alpha=2.5)
+        assert np.mean(gaps) == pytest.approx(500, rel=0.1)
+        assert min(gaps) >= 1
+
+    def test_pareto_needs_finite_mean(self):
+        with pytest.raises(ConfigError):
+            pareto_gaps(self.rng(), 1.0, 10, alpha=1.0)
+        with pytest.raises(ConfigError):
+            lognormal_gaps(self.rng(), 1.0, 10, sigma=0)
+
+    def test_zipf_universe_bound(self):
+        keys = zipf_keys(self.rng(), 5_000, universe=17)
+        assert min(keys) >= 0 and max(keys) < 17
+
+    def test_zipf_seeded_independent_of_arrivals(self):
+        # drawing arrivals from the same seed must not perturb the key
+        # sequence: keys come from their own keyed stream
+        keys_alone = zipf_keys(7, 500, universe=100, stream="tenant-a")
+        pool = RngPool(seed=7)
+        poisson_gaps(pool.stream("gaps"), 1.0, 500)
+        keys_after = zipf_keys(7, 500, universe=100, stream="tenant-a")
+        assert keys_alone == keys_after
+
+    def test_zipf_two_tenants_same_seed_uncorrelated(self):
+        a = zipf_keys(7, 2_000, universe=1_000, stream="tenant-a")
+        b = zipf_keys(7, 2_000, universe=1_000, stream="tenant-b")
+        assert a != b
+        # positionwise collisions should look like chance for a zipf
+        # draw (hot keys collide often; identical streams would be 100%)
+        same = sum(1 for x, y in zip(a, b) if x == y)
+        assert same < len(a) * 0.5
+
+    def test_zipf_stream_label_requires_seed(self):
+        with pytest.raises(ConfigError):
+            zipf_keys(self.rng(), 10, stream="nope")
+
+    def test_keyed_stream_independence(self):
+        a = keyed_stream(3, "x").random(100)
+        b = keyed_stream(3, "y").random(100)
+        c = keyed_stream(3, "x").random(100)
+        assert np.array_equal(a, c)
+        assert not np.array_equal(a, b)
 
 
 class TestEnergyModel:
